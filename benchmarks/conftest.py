@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper and
+prints measured rows next to the values the paper reports.  Absolute
+numbers are not expected to match (our substrate is a simulator, not
+the authors' testbed); the *shape* — who wins, by roughly what factor,
+where the knobs move results — is asserted in the test suite and made
+eyeballable here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,85 @@
+"""Extension bench: popularity-guided prefetching (§6.3).
+
+The paper suggests collecting "fine-grained popularity of each request
+or item" to prefetch more effectively.  This bench compares the Wish
+user-study run with and without a top-K popularity policy on the
+successor signatures: the policy should cut prefetch bytes
+substantially while giving up little of the latency win.
+"""
+
+from conftest import banner, run_once
+
+from repro.device.traces import generate_user_study, replay_trace
+from repro.experiments.scenario import Scenario, prepare_app
+from repro.metrics.stats import median
+
+
+def run_variant(top_k, participants=8):
+    prepared = prepare_app("wish")
+    scenario = Scenario(
+        prepared,
+        proxied=True,
+        enabled_classes=prepared.spec.main_site_classes,
+        max_chain_depth=1,
+    )
+    if top_k is not None:
+        for signature in prepared.analysis.prefetchable():
+            scenario.proxy.config.policy(signature.site).popularity_top_k = top_k
+    traces = generate_user_study(prepared.apk, participants=participants, seed=31)
+    results = []
+
+    def replay_all():
+        processes = [
+            scenario.sim.spawn(replay_trace(scenario.runtime(t.user), t))
+            for t in traces
+        ]
+        collected = []
+        for process in processes:
+            collected.append((yield process))
+        return collected
+
+    results = scenario.sim.run_process(replay_all())
+    latencies = [
+        r.latency
+        for user_results in results
+        for r in user_results
+        if r.event == prepared.spec.main_event
+    ]
+    return {
+        "median_latency": median(latencies) if latencies else 0.0,
+        "prefetch_bytes": scenario.proxy.prefetcher.prefetch_bytes,
+        "served": scenario.proxy.served_prefetched,
+        "skipped_popularity": scenario.proxy.prefetcher.skipped_popularity,
+    }
+
+
+def run_all():
+    return {
+        "unrestricted": run_variant(None),
+        "top-8": run_variant(8),
+        "top-3": run_variant(3),
+    }
+
+
+def test_extension_popularity(benchmark):
+    stats = run_once(benchmark, run_all)
+    banner("Extension (§6.3) — popularity-guided prefetching on Wish")
+    print(
+        "{:<14} {:>12} {:>16} {:>8} {:>10}".format(
+            "variant", "median", "prefetch bytes", "served", "skipped"
+        )
+    )
+    for name in ("unrestricted", "top-8", "top-3"):
+        row = stats[name]
+        print(
+            "{:<14} {:>10.0f}ms {:>16,} {:>8} {:>10}".format(
+                name, 1000 * row["median_latency"], row["prefetch_bytes"],
+                row["served"], row["skipped_popularity"],
+            )
+        )
+    assert stats["top-3"]["prefetch_bytes"] < stats["unrestricted"]["prefetch_bytes"]
+    assert stats["top-3"]["skipped_popularity"] > 0
+    # the latency cost of trimming the tail stays modest (< 2x median)
+    assert stats["top-3"]["median_latency"] <= 2.5 * max(
+        stats["unrestricted"]["median_latency"], 1e-9
+    )

@@ -1,0 +1,20 @@
+"""Fig. 11: DoorDash successive dependency chain.
+
+Paper: store list → store menu → menu detail → suggestion, each hop
+keyed by an id from the previous response.
+"""
+
+from conftest import banner, run_once
+
+from repro.experiments import runner
+
+
+def test_fig11_doordash_chain(benchmark):
+    chain = run_once(benchmark, runner.fig11_doordash_chain)
+    banner("Fig. 11 — DoorDash successive dependency chain")
+    print(" -> ".join(chain))
+    print("paper: Store list -> Store menu -> Menu detail -> Suggestion")
+    assert len(chain) >= 4
+    assert chain[0].startswith("StoreListActivity")
+    assert any(site.startswith("StoreActivity") for site in chain)
+    assert any(site.startswith("MenuItemActivity") for site in chain)

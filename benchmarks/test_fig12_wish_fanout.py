@@ -1,0 +1,22 @@
+"""Fig. 12: Wish — multiple relationships on a single transaction.
+
+Paper: the product-detail response feeds the merchant page, ratings,
+group buying, and the other product image; the feed response likewise
+fans out to several successors.
+"""
+
+from conftest import banner, run_once
+
+from repro.experiments import runner
+
+
+def test_fig12_wish_fanout(benchmark):
+    fanout = run_once(benchmark, runner.fig12_wish_fanout)
+    banner("Fig. 12 — Wish fan-out per predecessor transaction")
+    for site, successors in sorted(fanout.items(), key=lambda kv: -kv[1]):
+        print("  {:<36} -> {} successors".format(site, successors))
+    print("paper: product detail feeds merchant / ratings / images / related")
+    detail = max(v for k, v in fanout.items() if k.startswith("DetailActivity"))
+    feed = max(v for k, v in fanout.items() if k.startswith("FeedActivity"))
+    assert detail >= 3
+    assert feed >= 3

@@ -1,0 +1,50 @@
+"""Fig. 13: user-perceived latency of the main interaction.
+
+Paper (origin servers, 55 ms / 25 Mbps access):
+
+    Wish          Orig 1.7 s → APPx 0.9 s  (47% lower)
+    Geek          Orig 2.4 s → APPx 1.1 s  (54%)
+    DoorDash      Orig 2.1 s → APPx 0.9 s  (58%)
+    Purple Ocean  Orig 2.5 s → APPx 0.9 s  (62%)
+    Postmates     Orig 1.8 s → APPx 0.8 s  (53%)
+"""
+
+from conftest import banner, run_once
+
+from repro.experiments import runner
+
+PAPER = {
+    "Wish": (1.7, 0.9, 0.47),
+    "Geek": (2.4, 1.1, 0.54),
+    "DoorDash": (2.1, 0.9, 0.58),
+    "Purple Ocean": (2.5, 0.9, 0.62),
+    "Postmates": (1.8, 0.8, 0.53),
+}
+
+
+def test_fig13_main_interaction(benchmark):
+    rows = run_once(benchmark, runner.fig13_main_interaction, runs=10)
+    banner("Fig. 13 — Main-interaction latency (Orig vs APPx)")
+    print(
+        "{:<14} {:>18} {:>18} {:>6} | paper".format(
+            "App", "Orig (net+proc)", "APPx (net+proc)", "red."
+        )
+    )
+    for row in rows:
+        orig, appx = row["orig"], row["appx"]
+        paper = PAPER[row["app"]]
+        print(
+            "{:<14} {:>7.2f} ({:.2f}+{:.2f}) {:>7.2f} ({:.2f}+{:.2f}) {:>5.0f}% | {:.1f}->{:.1f} ({:.0f}%)".format(
+                row["app"],
+                orig["latency"], orig["network"], orig["processing"],
+                appx["latency"], appx["network"], appx["processing"],
+                100 * row["reduction"],
+                paper[0], paper[1], 100 * paper[2],
+            )
+        )
+        # shape: APPx wins everywhere, by a substantial factor
+        assert appx["latency"] < orig["latency"]
+        assert row["reduction"] > 0.15
+        # the network component is where the speedup happens (2.5–8.7x
+        # in the paper)
+        assert orig["network"] / max(appx["network"], 1e-9) > 1.5

@@ -1,0 +1,47 @@
+"""Fig. 15: 90th-percentile main-interaction latency from user traces.
+
+Paper: proxy↔server RTT swept over {50, 100, 150} ms; reductions range
+14–64% and grow with the RTT (the proxy effectively moves the content
+closer to the client).
+"""
+
+from conftest import banner, run_once
+
+from repro.experiments import runner
+
+#: paper's per-app reductions at 50/100/150 ms
+PAPER = {
+    "Wish": (0.36, 0.54, 0.55),
+    "Geek": (0.37, 0.56, 0.64),
+    "DoorDash": (0.23, 0.31, 0.43),
+    "Purple Ocean": (0.19, 0.41, 0.51),
+    "Postmates": (0.14, 0.31, 0.28),
+}
+
+
+def test_fig15_percentile_sweep(benchmark):
+    rows = run_once(
+        benchmark, runner.fig15_percentile_sweep,
+        rtts=(0.050, 0.100, 0.150), participants=10,
+    )
+    banner("Fig. 15 — 90%-tile latency vs proxy↔server RTT (user traces)")
+    print(
+        "{:<14} {:>6} {:>10} {:>10} {:>6} | paper red.".format(
+            "App", "RTT", "Orig p90", "APPx p90", "red."
+        )
+    )
+    by_app = {}
+    for row in rows:
+        reductions = PAPER[row["app"]]
+        index = {50: 0, 100: 1, 150: 2}[row["rtt_ms"]]
+        print(
+            "{:<14} {:>4}ms {:>9.2f}s {:>9.2f}s {:>5.0f}% | {:.0f}%".format(
+                row["app"], row["rtt_ms"], row["orig_p90"], row["appx_p90"],
+                100 * row["reduction"], 100 * reductions[index],
+            )
+        )
+        by_app.setdefault(row["app"], {})[row["rtt_ms"]] = row["reduction"]
+        assert row["appx_p90"] <= row["orig_p90"]
+    for app, reductions in by_app.items():
+        # reductions grow (weakly) with the proxy↔server RTT
+        assert reductions[150] >= reductions[50] - 0.02

@@ -1,0 +1,49 @@
+"""Fig. 16: latency CDFs and normalized data usage per app per RTT.
+
+Paper: median reductions 17% (252 ms) – 64% (1,471 ms); the proxy uses
+1.08–4.17x more data than the no-prefetch baseline (Wish 4.17x, Geek
+3.15x, DoorDash 1.74x, Purple Ocean 2.25x, Postmates 1.08x).
+"""
+
+from conftest import banner, run_once
+
+from repro.experiments import runner
+
+PAPER_USAGE = {
+    "Wish": 4.17,
+    "Geek": 3.15,
+    "DoorDash": 1.74,
+    "Purple Ocean": 2.25,
+    "Postmates": 1.08,
+}
+
+
+def test_fig16_cdf_and_usage(benchmark):
+    rows = run_once(
+        benchmark, runner.fig16_cdf_and_usage,
+        rtts=(0.050, 0.100, 0.150), participants=10,
+    )
+    banner("Fig. 16 — Median latency CDF points and normalized data usage")
+    print(
+        "{:<14} {:>6} {:>9} {:>9} {:>6} {:>7} | paper usage".format(
+            "App", "RTT", "Orig med", "APPx med", "red.", "usage"
+        )
+    )
+    for row in rows:
+        print(
+            "{:<14} {:>4}ms {:>8.2f}s {:>8.2f}s {:>5.0f}% {:>6.2f}x | {:.2f}x".format(
+                row["app"], row["rtt_ms"], row["orig_median"], row["appx_median"],
+                100 * row["median_reduction"], row["normalized_data_usage"],
+                PAPER_USAGE[row["app"]],
+            )
+        )
+        assert row["appx_median"] <= row["orig_median"]
+        assert 1.0 <= row["normalized_data_usage"] < 20.0
+        # CDFs are well-formed and the APPx curve dominates at the median
+        assert row["orig_cdf"][-1][1] == 1.0
+        assert row["appx_cdf"][-1][1] == 1.0
+    # shopping apps pay the most data (large product images), Postmates
+    # and DoorDash the least — same ordering as the paper
+    usage = {row["app"]: row["normalized_data_usage"] for row in rows if row["rtt_ms"] == 50}
+    assert usage["Wish"] > usage["Postmates"]
+    assert usage["Geek"] > usage["DoorDash"]

@@ -1,0 +1,48 @@
+"""Fig. 17: Wish latency/data-usage trade-off vs prefetch probability.
+
+Paper: median latency falls from 1,881 ms (no prefetching) to 784 ms at
+probability 1.0 while normalized data usage rises 1.0x → 4.2x, with the
+latency curve flattening once the majority of transactions prefetch.
+"""
+
+from conftest import banner, run_once
+
+from repro.experiments import runner
+
+PAPER = {
+    0.0: (1881, 1.0),
+    0.25: (1085, 1.7),
+    0.5: (947, 2.1),
+    0.75: (871, 3.2),
+    0.9: (792, 3.7),
+    1.0: (784, 4.2),
+}
+
+
+def test_fig17_probability_tradeoff(benchmark):
+    rows = run_once(
+        benchmark, runner.fig17_probability_tradeoff,
+        probabilities=(0.0, 0.25, 0.5, 0.75, 0.9, 1.0), participants=10,
+    )
+    banner("Fig. 17 — Wish: latency vs data usage across prefetch probability")
+    print("{:>6} {:>12} {:>8} | paper".format("prob", "median", "usage"))
+    for row in rows:
+        paper_ms, paper_usage = PAPER[row["probability"]]
+        print(
+            "{:>5.0f}% {:>10.0f}ms {:>7.2f}x | {}ms {:.1f}x".format(
+                100 * row["probability"],
+                1000 * row["median_latency"],
+                row["normalized_data_usage"],
+                paper_ms, paper_usage,
+            )
+        )
+    latencies = [row["median_latency"] for row in rows]
+    usages = [row["normalized_data_usage"] for row in rows]
+    # monotone trade-off, with the paper's flattening at high probability
+    assert usages == sorted(usages)
+    assert latencies[0] == max(latencies)
+    assert latencies[-1] == min(latencies)
+    drop_low = latencies[0] - latencies[2]   # 0 -> 0.5
+    drop_high = latencies[2] - latencies[-1]  # 0.5 -> 1.0
+    assert drop_low > 0
+    assert latencies[0] / latencies[-1] > 1.5  # at least 1.5x better

@@ -1,0 +1,26 @@
+"""Table 1: description of apps and main interactions."""
+
+from conftest import banner, run_once
+
+from repro.experiments import runner
+
+PAPER = [
+    ("Wish", "Shopping", "Loads an item detail"),
+    ("Geek", "Shopping", "Loads an item detail"),
+    ("DoorDash", "Food delivery", "Loads a restaurant info."),
+    ("Purple Ocean", "Psychic reading", "Loads an advisor page"),
+    ("Postmates", "Food delivery", "Loads a restaurant info."),
+]
+
+
+def test_table1_apps(benchmark):
+    rows = run_once(benchmark, runner.table1_rows)
+    banner("Table 1 — Description of apps and main interactions")
+    print("{:<14} {:<16} {:<28} | paper".format("App", "Category", "Main interaction"))
+    for row, paper in zip(rows, PAPER):
+        print(
+            "{:<14} {:<16} {:<28} | {} / {} / {}".format(
+                row["app"], row["category"], row["main_interaction"], *paper
+            )
+        )
+    assert [(r["app"], r["category"], r["main_interaction"]) for r in rows] == PAPER

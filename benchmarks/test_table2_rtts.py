@@ -1,0 +1,32 @@
+"""Table 2: transactions of the main interaction and RTT to origins."""
+
+from conftest import banner, run_once
+
+from repro.experiments import runner
+
+PAPER_MS = {
+    ("Wish", "Product detail"): 165,
+    ("Wish", "Product image"): 16,
+    ("Geek", "Product detail"): 165,
+    ("Geek", "Product image"): 6,
+    ("DoorDash", "Menu"): 145,
+    ("DoorDash", "Restaurant schedule"): 145,
+    ("Purple Ocean", "Advisor information"): 230,
+    ("Purple Ocean", "Profile image"): 15,
+    ("Purple Ocean", "Video still image"): 15,
+    ("Postmates", "Restaurant menu & info"): 5,
+}
+
+
+def test_table2_rtts(benchmark):
+    rows = run_once(benchmark, runner.table2_rows)
+    banner("Table 2 — Transactions of main interaction and RTT to origin servers")
+    print("{:<14} {:<26} {:>8} | paper".format("App", "Transaction", "RTT(ms)"))
+    for row in rows:
+        paper = PAPER_MS[(row["app"], row["transaction"])]
+        print(
+            "{:<14} {:<26} {:>8} | {}".format(
+                row["app"], row["transaction"], row["rtt_ms"], paper
+            )
+        )
+        assert row["rtt_ms"] == paper

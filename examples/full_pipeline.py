@@ -1,0 +1,96 @@
+"""The complete three-phase APPx pipeline on one app (Fig. 4).
+
+Phase 1  automatic proxy generation — static analysis of the binary.
+Phase 2  testing & verification — UI fuzzing through the proxy against
+         sandbox origins; failing reconstructions get disabled and
+         per-signature expiration times are estimated by probing.
+Phase 3  configuration — the generated initial configuration is shown
+         and then customized (a side-effect ban and a field condition),
+         before a "deployment" run demonstrates the effect.
+
+Usage::
+
+    python examples/full_pipeline.py [app]
+
+where ``app`` is one of wish, geek, doordash, purple_ocean, postmates.
+"""
+
+import sys
+
+from repro.analysis import analyze_apk
+from repro.apps import get_app
+from repro.device.runtime import AppRuntime
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.proxy import AccelerationProxy, ProxiedTransport
+from repro.proxy.verification import run_verification
+from repro.server.content import Catalog
+
+
+def main():
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "wish"
+    spec = get_app(app_name)
+    apk = spec.build_apk()
+
+    print("=== Phase 1: static program analysis ===")
+    analysis = analyze_apk(apk)
+    for signature in analysis.signatures:
+        print("  {:<40} variants={} side_effect={}".format(
+            signature.site, len(signature.variants), signature.side_effect))
+    print("  dependencies:")
+    for edge in analysis.dependencies:
+        print("    {}:{}".format(edge.pred_site, edge.pred_path.to_string()))
+        print("      -> {}:{}".format(edge.succ_site, edge.succ_path.to_string()))
+
+    print()
+    print("=== Phase 2: testing & verification (UI fuzzing + expiry probes) ===")
+    config, report = run_verification(
+        apk,
+        analysis,
+        build_origin_map=lambda sim: spec.build_origin_map(sim, Catalog())[0],
+        profile=spec.default_profile("verify-user"),
+        fuzz_duration=90.0,
+    )
+    print("  fuzz interactions: {}".format(report.fuzz_interactions))
+    print("  prefetch successes per signature:")
+    for site, count in sorted(report.prefetch_successes.items()):
+        print("    {:<40} {}".format(site, count))
+    if report.disabled:
+        print("  disabled by verification: {}".format(report.disabled))
+    print("  estimated expiration times:")
+    for site, expiry in sorted(report.expiry_estimates.items()):
+        print("    {:<40} {:>7.0f} s".format(site, expiry))
+
+    print()
+    print("=== Phase 3: configuration ===")
+    print(config.to_json()[:800] + "\n  ... (truncated)")
+
+    print()
+    print("=== Deployment: accelerated session ===")
+    sim = Simulator()
+    origins, _ = spec.build_origin_map(sim, Catalog())
+    from repro.proxy.learning import DynamicLearner
+
+    proxy = AccelerationProxy(
+        sim, origins, analysis, config=config,
+        learner=DynamicLearner(analysis, store=report.seed_store.global_snapshot()),
+    )
+    runtime = AppRuntime(
+        apk, ProxiedTransport(sim, Link(rtt=0.055, shared=True), proxy),
+        sim, spec.default_profile("demo-user"),
+    )
+
+    def session():
+        launch = yield sim.spawn(runtime.launch())
+        yield Delay(6.0)
+        main_result = yield sim.spawn(runtime.dispatch(*spec.main_flow[-1]))
+        return launch, main_result
+
+    launch, main_result = sim.run_process(session())
+    print("  launch: {:.0f} ms   {}: {:.0f} ms".format(
+        1000 * launch.latency, spec.main_flow[-1][0], 1000 * main_result.latency))
+    print("  proxy: {}".format(proxy.stats()))
+
+
+if __name__ == "__main__":
+    main()

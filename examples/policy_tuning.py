@@ -1,0 +1,88 @@
+"""Tuning the proxy's prefetching policy (§4.4, Figs. 9 and 17).
+
+Demonstrates every configuration knob on the Wish proxy:
+
+* probabilistic prefetching (the latency/data trade-off of Fig. 17),
+* per-signature disable + expiration times,
+* the ``add_header`` prefetch indicator,
+* field-specific conditions ("only prefetch items over $40").
+
+Usage::
+
+    python examples/policy_tuning.py
+"""
+
+from repro.analysis import analyze_apk
+from repro.apps import get_app
+from repro.device.runtime import AppRuntime
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.proxy import AccelerationProxy, ProxiedTransport, default_config
+from repro.proxy.config import Condition
+from repro.server.content import Catalog
+
+
+def run_session(spec, analysis, config):
+    sim = Simulator()
+    origins, servers = spec.build_origin_map(sim, Catalog())
+    proxy = AccelerationProxy(sim, origins, analysis, config=config)
+    runtime = AppRuntime(
+        spec.build_apk(),
+        ProxiedTransport(sim, Link(rtt=0.055, shared=True), proxy),
+        sim,
+        spec.default_profile(),
+    )
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield Delay(6.0)
+        result = yield sim.spawn(runtime.dispatch("select_item", 3))
+        return result
+
+    result = sim.run_process(flow())
+    return result.latency, proxy
+
+
+def main():
+    spec = get_app("wish")
+    analysis = analyze_apk(spec.build_apk())
+
+    print("== Probability sweep (Fig. 17's knob) ==")
+    print("{:>6} {:>12} {:>12}".format("prob", "latency", "prefetched"))
+    for probability in (0.0, 0.5, 1.0):
+        config = default_config(analysis)
+        config.global_probability = probability
+        latency, proxy = run_session(spec, analysis, config)
+        print("{:>5.0f}% {:>10.0f}ms {:>12}".format(
+            100 * probability, 1000 * latency, proxy.prefetcher.issued))
+
+    print()
+    print("== Field condition: prefetch details only for items over $40 ==")
+    config = default_config(analysis)
+    detail_site = next(s.site for s in analysis.signatures if "postDetail" in s.site)
+    config.policy(detail_site).condition = Condition("price", "gt", "40")
+    latency, proxy = run_session(spec, analysis, config)
+    print("  latency {:.0f} ms; {} prefetches skipped by the condition".format(
+        1000 * latency, proxy.prefetcher.skipped_condition))
+
+    print()
+    print("== Prefetch indicator header (like Firefox's X-moz: prefetch) ==")
+    config = default_config(analysis)
+    for site in config.policies:
+        config.policies[site].add_header = [("X-APPx", "prefetch")]
+    latency, proxy = run_session(spec, analysis, config)
+    print("  latency {:.0f} ms; the origin can now separate proxy traffic "
+          "from real views".format(1000 * latency))
+
+    print()
+    print("== Tight expiration: stale entries are never served ==")
+    config = default_config(analysis)
+    for site in config.policies:
+        config.policies[site].expiration_time = 1.0
+    latency, proxy = run_session(spec, analysis, config)
+    print("  latency {:.0f} ms; expired evictions: {}".format(
+        1000 * latency, proxy.cache.expired_evictions))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Quickstart: analyze an app, generate its proxy, measure the speedup.
+
+Runs the whole APPx pipeline on the Wish model in under a minute:
+
+1. static analysis of the app binary (signatures + dependencies),
+2. an accelerated vs direct run of the app's main interaction,
+3. a summary of what the proxy did.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis import analyze_apk
+from repro.apps import get_app
+from repro.device.runtime import AppRuntime
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.netsim.transport import DirectTransport
+from repro.proxy import AccelerationProxy, ProxiedTransport
+from repro.server.content import Catalog
+
+
+def browse(spec, analysis, proxied):
+    """Launch the app, think, open an item; return (latency, proxy)."""
+    sim = Simulator()
+    origins, _ = spec.build_origin_map(sim, Catalog())
+    access = Link(rtt=0.055, bandwidth_bps=25e6, shared=True)
+    proxy = None
+    if proxied:
+        proxy = AccelerationProxy(sim, origins, analysis)
+        transport = ProxiedTransport(sim, access, proxy)
+    else:
+        transport = DirectTransport(sim, access, origins)
+    runtime = AppRuntime(spec.build_apk(), transport, sim, spec.default_profile())
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield Delay(6.0)  # the user looks at the feed
+        result = yield sim.spawn(runtime.dispatch(*spec.main_flow[-1]))
+        return result
+
+    result = sim.run_process(flow())
+    return result, proxy
+
+
+def main():
+    spec = get_app("wish")
+    apk = spec.build_apk()
+    print("== Static analysis of {} ({} IR instructions) ==".format(
+        spec.label, apk.instruction_count()))
+    analysis = analyze_apk(apk)
+    summary = analysis.summary()
+    print("signatures: {signatures}  prefetchable: {prefetchable}  "
+          "dependencies: {dependencies}  longest chain: {max_chain}".format(**summary))
+    print()
+    for signature in analysis.signatures:
+        marker = "*" if signature.is_successor() else " "
+        print("  {} {:<38} {} {}".format(
+            marker, signature.site, signature.request.method,
+            signature.request.uri.regex()))
+    print("  (* = successor: prefetchable from a predecessor's response)")
+    print()
+
+    original, _ = browse(spec, analysis, proxied=False)
+    accelerated, proxy = browse(spec, analysis, proxied=True)
+    reduction = 100 * (1 - accelerated.latency / original.latency)
+    print("== Main interaction: {} ==".format(spec.main_interaction))
+    print("  without proxy: {:.0f} ms".format(1000 * original.latency))
+    print("  with APPx:     {:.0f} ms  ({:.0f}% lower)".format(
+        1000 * accelerated.latency, reduction))
+    print()
+    stats = proxy.stats()
+    print("== Proxy activity ==")
+    print("  prefetches issued: {}   served from cache: {}".format(
+        stats["issued"], stats["served_prefetched"]))
+    print("  origin bytes (demand): {:,}   (incl. prefetch): {:,}".format(
+        stats["server_bytes_demand"], stats["server_bytes_total"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Replay a synthetic user study through the acceleration proxy.
+
+Mirrors the paper's §6.2 methodology: N participants freely use the app
+for three minutes each; their event traces replay in virtual time with
+and without the proxy, and the script reports per-interaction latency
+percentiles plus the proxy's data-usage overhead.
+
+Usage::
+
+    python examples/user_study_replay.py [app] [participants]
+"""
+
+import sys
+
+from repro.experiments.runner import user_study_run
+from repro.metrics.stats import median, percentile
+
+
+def main():
+    app_name = sys.argv[1] if len(sys.argv) > 1 else "doordash"
+    participants = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+
+    print("Replaying {} participants on {} (3 minutes each)...".format(
+        participants, app_name))
+    original = user_study_run(app_name, proxied=False, participants=participants)
+    accelerated = user_study_run(app_name, proxied=True, participants=participants)
+
+    orig = original["main_latencies"]
+    appx = accelerated["main_latencies"]
+    print()
+    print("Main interaction ({} samples):".format(len(orig)))
+    print("            {:>10} {:>10}".format("Orig", "APPx"))
+    print("  median    {:>9.0f}ms {:>9.0f}ms".format(1000 * median(orig), 1000 * median(appx)))
+    print("  90%-tile  {:>9.0f}ms {:>9.0f}ms".format(
+        1000 * percentile(orig, 90), 1000 * percentile(appx, 90)))
+    print("  reduction (median): {:.0f}%".format(
+        100 * (1 - median(appx) / median(orig))))
+    print()
+    usage = accelerated["server_bytes"] / original["demand_bytes"]
+    print("Data usage (proxy<->server, normalized to no-prefetch): {:.2f}x".format(usage))
+    print()
+    stats = accelerated["proxy_stats"]
+    print("Proxy: issued {issued} prefetches, served {served_prefetched} "
+          "from cache, forwarded {forwarded}".format(**stats))
+
+
+if __name__ == "__main__":
+    main()

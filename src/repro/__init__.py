@@ -1,0 +1,21 @@
+"""APPx reproduction: automated app-acceleration proxy framework.
+
+This package reimplements the system described in "APPx: An Automated
+App Acceleration Framework for Low Latency Mobile App" (CoNEXT 2018):
+
+* :mod:`repro.apk` — a mini Android-app intermediate representation that
+  both the static analyzer and the device runtime consume.
+* :mod:`repro.analysis` — network-aware static taint analysis producing
+  message signatures and inter-transaction dependencies.
+* :mod:`repro.httpmsg` — the HTTP request/response substrate.
+* :mod:`repro.netsim` — a discrete-event network simulator.
+* :mod:`repro.server` — origin-server backends for the evaluated apps.
+* :mod:`repro.device` — client-device runtime, UI fuzzing, user traces.
+* :mod:`repro.proxy` — the acceleration proxy: dynamic learning,
+  prefetching, verification, configuration.
+* :mod:`repro.apps` — the five synthetic commercial app programs.
+* :mod:`repro.metrics` — latency and data-usage measurement.
+* :mod:`repro.experiments` — harnesses reproducing every table/figure.
+"""
+
+__version__ = "1.0.0"

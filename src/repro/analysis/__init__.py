@@ -1,0 +1,54 @@
+"""Static program analysis (the Extractocol++ of the paper, §4.1).
+
+Pipeline (see :func:`repro.analysis.pipeline.analyze_apk`):
+
+1. **Network-aware taint analysis** — :mod:`repro.analysis.defuse`,
+   :mod:`repro.analysis.slicing`, :mod:`repro.analysis.alias`: def-use
+   chains over the IR, backward slices from every ``Http.execute``
+   site (request side) and forward slices from response values, with
+   on-demand alias resolution through heap fields.
+2. **Signature building** — :mod:`repro.analysis.interp`: abstract
+   interpretation of every entry point over the symbolic value domain
+   (:mod:`repro.analysis.absval`), reconstructing request templates
+   (constants, run-time wildcards, response-derived fields) and
+   response access paths, forking on run-time branch conditions to
+   enumerate body variants (Fig. 8), flowing values through Intents
+   (the Intent map) and RxAndroid operators.
+3. **Dependency analysis** — :mod:`repro.analysis.dependency`: turns
+   response-derived atoms inside request templates into
+   inter-transaction dependency edges, computes chains and fan-out.
+"""
+
+from repro.analysis.model import (
+    AnalysisResult,
+    ConstAtom,
+    DepAtom,
+    DependencyEdge,
+    RequestTemplate,
+    ResponseTemplate,
+    TransactionSignature,
+    UnknownAtom,
+    ValueTemplate,
+)
+from repro.analysis.pipeline import AnalysisOptions, analyze_apk
+from repro.analysis.report import render_report, render_signature
+from repro.analysis.serialize import dumps as dump_signatures
+from repro.analysis.serialize import loads as load_signatures
+
+__all__ = [
+    "dump_signatures",
+    "load_signatures",
+    "render_report",
+    "render_signature",
+    "AnalysisOptions",
+    "AnalysisResult",
+    "ConstAtom",
+    "DepAtom",
+    "DependencyEdge",
+    "RequestTemplate",
+    "ResponseTemplate",
+    "TransactionSignature",
+    "UnknownAtom",
+    "ValueTemplate",
+    "analyze_apk",
+]

@@ -1,0 +1,316 @@
+"""Abstract value domain for the signature-building interpretation.
+
+The analyzer symbolically executes app entry points.  Every register
+holds one of these abstract values; converting request-field values to
+:class:`~repro.analysis.model.ValueTemplate` atoms is where constants,
+run-time wildcards, and response-derived dependencies get told apart.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.model import ConstAtom, DepAtom, UnknownAtom, ValueTemplate
+from repro.httpmsg.fieldpath import ALL, FieldPath
+
+#: (branch_id, arm) pairs identifying the run-time conditions under
+#: which a request entry exists.  arm is "then" or "else".
+BranchCtx = Tuple[Tuple[str, str], ...]
+
+
+class AVal:
+    """Base abstract value.  Immutable values return ``self`` on clone."""
+
+    def clone(self, memo: dict) -> "AVal":
+        return self
+
+
+class AConst(AVal):
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "AConst({!r})".format(self.value)
+
+
+class AUnknown(AVal):
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return "AUnknown({})".format(self.tag)
+
+
+class AConcat(AVal):
+    """Concatenation of scalar abstract values."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: List[AVal]) -> None:
+        self.parts = parts
+
+    def __repr__(self) -> str:
+        return "AConcat({!r})".format(self.parts)
+
+
+class AResp(AVal):
+    """Handle to the response of transaction ``site``."""
+
+    __slots__ = ("site",)
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+
+    def __repr__(self) -> str:
+        return "AResp({})".format(self.site)
+
+
+class ARespJson(AVal):
+    """JSON value inside the response of ``site`` at ``path``."""
+
+    __slots__ = ("site", "path")
+
+    def __init__(self, site: str, path: Tuple = ()) -> None:
+        self.site = site
+        self.path = tuple(path)
+
+    def child(self, part) -> "ARespJson":
+        return ARespJson(self.site, self.path + (part,))
+
+    def field_path(self) -> FieldPath:
+        return FieldPath("body", self.path)
+
+    def __repr__(self) -> str:
+        return "ARespJson({}, {})".format(self.site, self.field_path().to_string())
+
+
+class ARespHeader(AVal):
+    __slots__ = ("site", "name")
+
+    def __init__(self, site: str, name: str) -> None:
+        self.site = site
+        self.name = name
+
+    def __repr__(self) -> str:
+        return "ARespHeader({}, {})".format(self.site, self.name)
+
+
+class ABlob(AVal):
+    """Opaque (image) response body."""
+
+    __slots__ = ("site",)
+
+    def __init__(self, site: str) -> None:
+        self.site = site
+
+    def __repr__(self) -> str:
+        return "ABlob({})".format(self.site)
+
+
+class AJson(AVal):
+    """App-constructed JSON object (mutable, shared by reference)."""
+
+    def __init__(self, entries: Optional[Dict[str, AVal]] = None) -> None:
+        self.entries: Dict[str, AVal] = dict(entries or {})
+
+    def clone(self, memo: dict) -> "AJson":
+        if id(self) in memo:
+            return memo[id(self)]
+        copy = AJson()
+        memo[id(self)] = copy
+        copy.entries = {k: v.clone(memo) for k, v in self.entries.items()}
+        return copy
+
+    def __repr__(self) -> str:
+        return "AJson({!r})".format(list(self.entries))
+
+
+class AList(AVal):
+    def __init__(self, items: Optional[List[AVal]] = None) -> None:
+        self.items: List[AVal] = list(items or [])
+
+    def clone(self, memo: dict) -> "AList":
+        if id(self) in memo:
+            return memo[id(self)]
+        copy = AList()
+        memo[id(self)] = copy
+        copy.items = [v.clone(memo) for v in self.items]
+        return copy
+
+    def __repr__(self) -> str:
+        return "AList({} items)".format(len(self.items))
+
+
+class AObj(AVal):
+    """Heap object (allocation site + mutable fields).
+
+    Aliasing is modelled by Python reference sharing: two registers
+    holding the same :class:`AObj` see each other's ``PutField``s —
+    which is what the on-demand alias analysis must (and, in the
+    ablation, fails to) resolve.
+    """
+
+    def __init__(self, class_name: str, site: str) -> None:
+        self.class_name = class_name
+        self.site = site
+        self.fields: Dict[str, AVal] = {}
+
+    def clone(self, memo: dict) -> "AObj":
+        if id(self) in memo:
+            return memo[id(self)]
+        copy = AObj(self.class_name, self.site)
+        memo[id(self)] = copy
+        copy.fields = {k: v.clone(memo) for k, v in self.fields.items()}
+        return copy
+
+    def __repr__(self) -> str:
+        return "AObj({}@{})".format(self.class_name, self.site)
+
+
+class AIntent(AVal):
+    """Android Intent: a keyed bag crossing component boundaries."""
+
+    def __init__(self, extras: Optional[Dict[str, AVal]] = None) -> None:
+        self.extras: Dict[str, AVal] = dict(extras or {})
+
+    def clone(self, memo: dict) -> "AIntent":
+        if id(self) in memo:
+            return memo[id(self)]
+        copy = AIntent()
+        memo[id(self)] = copy
+        copy.extras = {k: v.clone(memo) for k, v in self.extras.items()}
+        return copy
+
+    def __repr__(self) -> str:
+        return "AIntent({!r})".format(list(self.extras))
+
+
+class AObs(AVal):
+    """RxAndroid observable wrapping an abstract upstream value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: AVal) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return "AObs({!r})".format(self.value)
+
+
+class AEntry:
+    """A request field entry tagged with the branch context it lives in."""
+
+    __slots__ = ("key", "value", "branch")
+
+    def __init__(self, key: str, value: AVal, branch: BranchCtx) -> None:
+        self.key = key
+        self.value = value
+        self.branch = branch
+
+    def __repr__(self) -> str:
+        return "AEntry({}={!r} @{!r})".format(self.key, self.value, self.branch)
+
+
+class ARequest(AVal):
+    """An HTTP request under construction."""
+
+    def __init__(self, method: AVal, url: AVal) -> None:
+        self.method = method
+        self.url = url
+        self.headers: List[AEntry] = []
+        self.query: List[AEntry] = []
+        self.form: List[AEntry] = []
+        self.json_body: Optional[AVal] = None
+
+    def clone(self, memo: dict) -> "ARequest":
+        if id(self) in memo:
+            return memo[id(self)]
+        copy = ARequest(self.method.clone(memo), self.url.clone(memo))
+        memo[id(self)] = copy
+        copy.headers = [AEntry(e.key, e.value.clone(memo), e.branch) for e in self.headers]
+        copy.query = [AEntry(e.key, e.value.clone(memo), e.branch) for e in self.query]
+        copy.form = [AEntry(e.key, e.value.clone(memo), e.branch) for e in self.form]
+        copy.json_body = self.json_body.clone(memo) if self.json_body else None
+        return copy
+
+    def __repr__(self) -> str:
+        return "ARequest({!r} {!r})".format(self.method, self.url)
+
+
+# ----------------------------------------------------------------------
+# conversion to signature templates
+# ----------------------------------------------------------------------
+def to_template(value: AVal) -> ValueTemplate:
+    """Convert a scalar abstract value into a :class:`ValueTemplate`."""
+    return ValueTemplate(_atoms(value))
+
+
+def _atoms(value: AVal) -> List:
+    if isinstance(value, AConst):
+        return [ConstAtom(value.value)]
+    if isinstance(value, AUnknown):
+        return [UnknownAtom(value.tag)]
+    if isinstance(value, ARespJson):
+        return [DepAtom(value.site, value.field_path())]
+    if isinstance(value, ARespHeader):
+        return [DepAtom(value.site, FieldPath("header", (value.name,)))]
+    if isinstance(value, AConcat):
+        atoms: List = []
+        for part in value.parts:
+            atoms.extend(_atoms(part))
+        # merge adjacent constants for canonical templates
+        merged: List = []
+        for atom in atoms:
+            if (
+                merged
+                and isinstance(atom, ConstAtom)
+                and isinstance(merged[-1], ConstAtom)
+            ):
+                merged[-1] = ConstAtom(str(merged[-1].value) + str(atom.value))
+            else:
+                merged.append(atom)
+        return merged
+    if isinstance(value, AObs):
+        return _atoms(value.value)
+    # complex values (objects, lists, whole responses) are opaque
+    return [UnknownAtom("complex:{}".format(type(value).__name__))]
+
+
+def concat(left: AVal, right: AVal) -> AVal:
+    """Abstract string concatenation with constant folding."""
+    if isinstance(left, AConst) and isinstance(right, AConst):
+        return AConst(str(left.value) + str(right.value))
+    parts: List[AVal] = []
+    for piece in (left, right):
+        if isinstance(piece, AConcat):
+            parts.extend(piece.parts)
+        else:
+            parts.append(piece)
+    return AConcat(parts)
+
+
+__all__ = [
+    "AVal",
+    "AConst",
+    "AUnknown",
+    "AConcat",
+    "AResp",
+    "ARespJson",
+    "ARespHeader",
+    "ABlob",
+    "AJson",
+    "AList",
+    "AObj",
+    "AIntent",
+    "AObs",
+    "AEntry",
+    "ARequest",
+    "BranchCtx",
+    "ALL",
+    "to_template",
+    "concat",
+]

@@ -1,0 +1,179 @@
+"""Flow-insensitive points-to (alias) analysis.
+
+FlowDroid-style on-demand alias resolution is approximated with a
+whole-program Andersen-style pass: abstract objects are allocation
+sites (``New``, ``Json.new``, ``List.new``, ``Intent.new``,
+``Http.newRequest``, component ``this`` instances); assignments, field
+loads/stores, and calls generate inclusion constraints solved to a
+fixpoint.  The slicer queries it to resolve ``GetField`` loads to the
+``PutField`` stores that may feed them — including through aliases,
+which is precisely the case the paper says stock Extractocol loses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.apk.ir import CallMethod, GetField, Invoke, MethodRef, Move, New, PutField
+from repro.apk.program import ApkFile
+
+#: a variable: (method qualified name, register)
+Var = Tuple[str, str]
+#: an abstract object: a string naming its allocation site
+Obj = str
+
+_ALLOC_APIS = {
+    "Json.new": "json",
+    "List.new": "list",
+    "Intent.new": "intent",
+    "Http.newRequest": "request",
+}
+
+
+class PointsTo:
+    """Solved points-to relation with alias queries."""
+
+    def __init__(self, apk: ApkFile) -> None:
+        self.apk = apk
+        self.points_to: Dict[Var, Set[Obj]] = {}
+        #: (object, field) -> set of objects/values stored
+        self.field_points_to: Dict[Tuple[Obj, str], Set[Obj]] = {}
+        self._solve()
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        assigns: List[Tuple[Var, Var]] = []  # dst ⊇ src
+        loads: List[Tuple[Var, Var, str]] = []  # dst ⊇ obj.field
+        stores: List[Tuple[Var, str, Var]] = []  # obj.field ⊇ src
+        allocations: List[Tuple[Var, Obj]] = []
+
+        for method in self.apk.all_methods():
+            owner = method.ref.to_string()
+            instruction_index = 0
+            for instruction in method.body.walk():
+                instruction_index += 1
+                if isinstance(instruction, New):
+                    allocations.append(
+                        (
+                            (owner, instruction.dst),
+                            "{}:{}#{}".format(owner, instruction.class_name, instruction_index),
+                        )
+                    )
+                elif isinstance(instruction, Move):
+                    assigns.append(((owner, instruction.dst), (owner, instruction.src)))
+                elif isinstance(instruction, GetField):
+                    loads.append(
+                        ((owner, instruction.dst), (owner, instruction.obj), instruction.field)
+                    )
+                elif isinstance(instruction, PutField):
+                    stores.append(
+                        ((owner, instruction.obj), instruction.field, (owner, instruction.src))
+                    )
+                elif isinstance(instruction, Invoke):
+                    if instruction.api in _ALLOC_APIS and instruction.dst:
+                        allocations.append(
+                            (
+                                (owner, instruction.dst),
+                                "{}:{}#{}".format(
+                                    owner, _ALLOC_APIS[instruction.api], instruction_index
+                                ),
+                            )
+                        )
+                elif isinstance(instruction, CallMethod):
+                    try:
+                        callee = self.apk.resolve(instruction.ref)
+                    except KeyError:
+                        continue
+                    callee_name = instruction.ref.to_string()
+                    for param, arg in zip(callee.params, instruction.args):
+                        assigns.append(((callee_name, param), (owner, arg)))
+                    if instruction.dst:
+                        for inner in callee.body.walk():
+                            if inner.kind == "return" and inner.src:
+                                assigns.append(
+                                    ((owner, instruction.dst), (callee_name, inner.src))
+                                )
+
+        # component `this` instances are singleton objects
+        for component in self.apk.components.values():
+            obj = "component:{}".format(component.name)
+            try:
+                start = self.apk.resolve(component.start_ref)
+            except KeyError:
+                continue
+            if start.params:
+                allocations.append(((component.start_ref.to_string(), start.params[0]), obj))
+            # all screen handlers of this component share the instance
+            for screen in self.apk.screens.values():
+                if screen.name != component.screen:
+                    continue
+                for event in screen.events.values():
+                    try:
+                        handler = self.apk.resolve(event.handler)
+                    except KeyError:
+                        continue
+                    if handler.params:
+                        allocations.append(
+                            ((event.handler.to_string(), handler.params[0]), obj)
+                        )
+
+        pts: Dict[Var, Set[Obj]] = {}
+        fpts: Dict[Tuple[Obj, str], Set[Obj]] = {}
+        for var, obj in allocations:
+            pts.setdefault(var, set()).add(obj)
+
+        changed = True
+        while changed:
+            changed = False
+            for dst, src in assigns:
+                source = pts.get(src, set())
+                target = pts.setdefault(dst, set())
+                if not source <= target:
+                    target |= source
+                    changed = True
+            for obj_var, field, src in stores:
+                source = pts.get(src, set())
+                for obj in pts.get(obj_var, set()):
+                    slot = fpts.setdefault((obj, field), set())
+                    if not source <= slot:
+                        slot |= source
+                        changed = True
+            for dst, obj_var, field in loads:
+                target = pts.setdefault(dst, set())
+                for obj in pts.get(obj_var, set()):
+                    source = fpts.get((obj, field), set())
+                    if not source <= target:
+                        target |= source
+                        changed = True
+
+        self.points_to = pts
+        self.field_points_to = fpts
+
+    # ------------------------------------------------------------------
+    def objects_of(self, method: str, register: str) -> FrozenSet[Obj]:
+        return frozenset(self.points_to.get((method, register), set()))
+
+    def may_alias(self, a: Tuple[str, str], b: Tuple[str, str]) -> bool:
+        """May the two (method, register) variables point to one object?"""
+        return bool(self.objects_of(*a) & self.objects_of(*b))
+
+    def stores_feeding(
+        self, method: str, obj_register: str, field: str
+    ) -> List[Tuple[str, PutField]]:
+        """Every ``PutField`` anywhere that may feed ``obj.field`` here.
+
+        This is the on-demand alias query: loads resolve to stores
+        through any alias of the receiver object.
+        """
+        receivers = self.objects_of(method, obj_register)
+        feeding: List[Tuple[str, PutField]] = []
+        for candidate in self.apk.all_methods():
+            owner = candidate.ref.to_string()
+            for instruction in candidate.body.walk():
+                if (
+                    isinstance(instruction, PutField)
+                    and instruction.field == field
+                    and self.objects_of(owner, instruction.obj) & receivers
+                ):
+                    feeding.append((owner, instruction))
+        return feeding

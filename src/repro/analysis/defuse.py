@@ -1,0 +1,157 @@
+"""Control-flow graph and def-use chains over the structured IR.
+
+The slicer (:mod:`repro.analysis.slicing`) needs classic dataflow:
+every use of a register is linked to the definitions that may reach it.
+Structured ``If``/``ForEach`` blocks are lowered to a conventional CFG
+(the ``If``/``ForEach`` instruction itself is the branch node) and
+reaching definitions are computed with a worklist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.apk.ir import Block, ForEach, If, Instruction
+from repro.apk.program import Method
+
+
+class CfgNode:
+    """One instruction in the CFG."""
+
+    __slots__ = ("instruction", "successors", "predecessors", "index")
+
+    def __init__(self, instruction: Instruction, index: int) -> None:
+        self.instruction = instruction
+        self.index = index
+        self.successors: List["CfgNode"] = []
+        self.predecessors: List["CfgNode"] = []
+
+    def link(self, successor: "CfgNode") -> None:
+        if successor not in self.successors:
+            self.successors.append(successor)
+            successor.predecessors.append(self)
+
+    def __repr__(self) -> str:
+        return "CfgNode#{}({!r})".format(self.index, self.instruction)
+
+
+class Cfg:
+    """CFG of one method."""
+
+    def __init__(self, method: Method) -> None:
+        self.method = method
+        self.nodes: List[CfgNode] = []
+        self.entry: Optional[CfgNode] = None
+        self._build()
+
+    def _new_node(self, instruction: Instruction) -> CfgNode:
+        node = CfgNode(instruction, len(self.nodes))
+        self.nodes.append(node)
+        return node
+
+    def _build(self) -> None:
+        entry, _exits = self._lower_block(self.method.body)
+        self.entry = entry
+
+    def _lower_block(
+        self, block: Block
+    ) -> Tuple[Optional[CfgNode], List[CfgNode]]:
+        """Lower a block; returns (entry node, open exit nodes)."""
+        entry: Optional[CfgNode] = None
+        open_exits: List[CfgNode] = []
+        for instruction in block:
+            node = self._new_node(instruction)
+            if entry is None:
+                entry = node
+            for exit_node in open_exits:
+                exit_node.link(node)
+            if isinstance(instruction, If):
+                open_exits = []
+                for arm in (instruction.then_block, instruction.else_block):
+                    arm_entry, arm_exits = self._lower_block(arm)
+                    if arm_entry is None:
+                        open_exits.append(node)  # empty arm falls through
+                    else:
+                        node.link(arm_entry)
+                        open_exits.extend(arm_exits)
+            elif isinstance(instruction, ForEach):
+                body_entry, body_exits = self._lower_block(instruction.body)
+                if body_entry is not None:
+                    node.link(body_entry)
+                    for exit_node in body_exits:
+                        exit_node.link(node)  # back edge
+                open_exits = [node]  # zero-iteration fallthrough
+            elif instruction.kind == "return":
+                open_exits = []
+            else:
+                open_exits = [node]
+        return entry, open_exits
+
+    def node_of(self, instruction: Instruction) -> CfgNode:
+        for node in self.nodes:
+            if node.instruction is instruction:
+                return node
+        raise KeyError("instruction not in CFG: {!r}".format(instruction))
+
+
+#: a definition: (register, node index); None index = method parameter
+Definition = Tuple[str, Optional[int]]
+
+
+class DefUse:
+    """Reaching definitions + def-use chains for one method."""
+
+    def __init__(self, method: Method) -> None:
+        self.method = method
+        self.cfg = Cfg(method)
+        #: node index -> frozenset of reaching Definitions
+        self.reach_in: Dict[int, FrozenSet[Definition]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        params: FrozenSet[Definition] = frozenset(
+            (name, None) for name in self.method.params
+        )
+        nodes = self.cfg.nodes
+        reach_out: Dict[int, FrozenSet[Definition]] = {
+            node.index: frozenset() for node in nodes
+        }
+        for node in nodes:
+            self.reach_in[node.index] = frozenset()
+        worklist = list(nodes)
+        while worklist:
+            node = worklist.pop(0)
+            incoming: Set[Definition] = set()
+            if node is self.cfg.entry or not node.predecessors:
+                incoming |= params
+            for predecessor in node.predecessors:
+                incoming |= reach_out[predecessor.index]
+            incoming_frozen = frozenset(incoming)
+            self.reach_in[node.index] = incoming_frozen
+            killed = set(node.instruction.defined_registers())
+            outgoing = {
+                definition
+                for definition in incoming_frozen
+                if definition[0] not in killed
+            }
+            outgoing |= {(register, node.index) for register in killed}
+            outgoing_frozen = frozenset(outgoing)
+            if outgoing_frozen != reach_out[node.index]:
+                reach_out[node.index] = outgoing_frozen
+                for successor in node.successors:
+                    if successor not in worklist:
+                        worklist.append(successor)
+
+    def definitions_reaching(self, node: CfgNode, register: str) -> List[Optional[int]]:
+        """Node indices (None = parameter) defining ``register`` at ``node``."""
+        return sorted(
+            (index for name, index in self.reach_in[node.index] if name == register),
+            key=lambda value: (-1 if value is None else value),
+        )
+
+    def uses_of(self, node: CfgNode) -> Dict[str, List[Optional[int]]]:
+        """For each register used by ``node``, its reaching definitions."""
+        return {
+            register: self.definitions_reaching(node, register)
+            for register in node.instruction.used_registers()
+        }

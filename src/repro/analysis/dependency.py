@@ -1,0 +1,80 @@
+"""Dependency analysis: signatures → inter-transaction dependency edges.
+
+A :class:`~repro.analysis.model.DepAtom` inside a request template says
+"this request field is derived from that response field"; here each one
+becomes an explicit :class:`~repro.analysis.model.DependencyEdge`, the
+unit counted in the paper's Table 3 and consumed by the proxy's
+dynamic-learning engine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.model import DependencyEdge, TransactionSignature
+
+
+def extract_dependencies(
+    signatures: List[TransactionSignature],
+) -> List[DependencyEdge]:
+    """All distinct dependency edges, in deterministic order."""
+    known_sites = {signature.site for signature in signatures}
+    edges: List[DependencyEdge] = []
+    seen: Set[Tuple[str, str, str, str]] = set()
+    for signature in signatures:
+        for succ_path, atom in signature.request.dep_atoms():
+            if atom.pred_site not in known_sites:
+                continue
+            edge = DependencyEdge(
+                pred_site=atom.pred_site,
+                pred_path=atom.pred_path,
+                succ_site=signature.site,
+                succ_path=succ_path,
+            )
+            if edge.key() not in seen:
+                seen.add(edge.key())
+                edges.append(edge)
+    return edges
+
+
+def dependency_chains(edges: List[DependencyEdge]) -> List[List[str]]:
+    """All maximal site chains through the dependency DAG.
+
+    Used for the Fig. 11/12 case studies (successive chains and
+    single-predecessor fan-out).
+    """
+    adjacency: Dict[str, List[str]] = {}
+    has_predecessor: Set[str] = set()
+    sites: Set[str] = set()
+    for edge in edges:
+        adjacency.setdefault(edge.pred_site, [])
+        if edge.succ_site not in adjacency[edge.pred_site]:
+            adjacency[edge.pred_site].append(edge.succ_site)
+        has_predecessor.add(edge.succ_site)
+        sites.add(edge.pred_site)
+        sites.add(edge.succ_site)
+
+    roots = sorted(sites - has_predecessor)
+    chains: List[List[str]] = []
+
+    def extend(path: List[str]) -> None:
+        successors = [s for s in adjacency.get(path[-1], []) if s not in path]
+        if not successors:
+            chains.append(list(path))
+            return
+        for successor in successors:
+            path.append(successor)
+            extend(path)
+            path.pop()
+
+    for root in roots:
+        extend([root])
+    return chains
+
+
+def fan_out(edges: List[DependencyEdge]) -> Dict[str, int]:
+    """Distinct successor count per predecessor site (Fig. 12 shape)."""
+    out: Dict[str, Set[str]] = {}
+    for edge in edges:
+        out.setdefault(edge.pred_site, set()).add(edge.succ_site)
+    return {site: len(successors) for site, successors in out.items()}

@@ -1,0 +1,431 @@
+"""Signature and dependency model — the analyzer's output format.
+
+A :class:`TransactionSignature` corresponds to the paper's Fig. 5: a
+regex-shaped template of one HTTP transaction.  Every request field is
+a :class:`ValueTemplate`, a concatenation of atoms:
+
+* :class:`ConstAtom` — literal text known statically;
+* :class:`UnknownAtom` — a run-time-only value (tagged with *why* it is
+  unknown, e.g. ``env:cookie``): renders as ``.*`` and must be learned
+  dynamically (§4.2);
+* :class:`DepAtom` — derived from a field of another transaction's
+  response: renders as ``.*`` *and* induces a
+  :class:`DependencyEdge`, making the signature a *successor* and
+  therefore prefetchable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.httpmsg.fieldpath import FieldPath
+
+
+class ConstAtom:
+    __slots__ = ("value",)
+
+    def __init__(self, value) -> None:
+        self.value = value
+
+    def regex(self) -> str:
+        return re.escape(str(self.value))
+
+    def canonical(self) -> str:
+        return "C:{!r}".format(self.value)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ConstAtom) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("const", str(self.value)))
+
+    def __repr__(self) -> str:
+        return "ConstAtom({!r})".format(self.value)
+
+
+class UnknownAtom:
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+
+    def regex(self) -> str:
+        return ".*"
+
+    def canonical(self) -> str:
+        return "U:{}".format(self.tag)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, UnknownAtom) and self.tag == other.tag
+
+    def __hash__(self) -> int:
+        return hash(("unknown", self.tag))
+
+    def __repr__(self) -> str:
+        return "UnknownAtom({})".format(self.tag)
+
+
+class DepAtom:
+    """Value derived from ``pred_site``'s response at ``pred_path``."""
+
+    __slots__ = ("pred_site", "pred_path")
+
+    def __init__(self, pred_site: str, pred_path: FieldPath) -> None:
+        self.pred_site = pred_site
+        self.pred_path = pred_path
+
+    def regex(self) -> str:
+        return ".*"
+
+    def canonical(self) -> str:
+        return "D:{}:{}".format(self.pred_site, self.pred_path.to_string())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, DepAtom)
+            and self.pred_site == other.pred_site
+            and self.pred_path == other.pred_path
+        )
+
+    def __hash__(self) -> int:
+        return hash(("dep", self.pred_site, self.pred_path))
+
+    def __repr__(self) -> str:
+        return "DepAtom({}, {})".format(self.pred_site, self.pred_path.to_string())
+
+
+class AltAtom:
+    """Alternation between branch-dependent values, e.g. ``(30|1)``.
+
+    The paper's Fig. 5 shows exactly this shape: ``count: (30|1)`` —
+    one branch sends 30, the other 1.
+    """
+
+    __slots__ = ("options",)
+
+    def __init__(self, options: Sequence["ValueTemplate"]) -> None:
+        # dedupe, preserve order
+        seen = set()
+        unique: List[ValueTemplate] = []
+        for option in options:
+            key = option.canonical()
+            if key not in seen:
+                seen.add(key)
+                unique.append(option)
+        self.options: Tuple["ValueTemplate", ...] = tuple(unique)
+
+    def regex(self) -> str:
+        return "({})".format("|".join(o.regex() for o in self.options))
+
+    def canonical(self) -> str:
+        return "A:({})".format("|".join(o.canonical() for o in self.options))
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, AltAtom) and self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical())
+
+    def __repr__(self) -> str:
+        return "AltAtom({})".format(self.canonical())
+
+
+Atom = object  # ConstAtom | UnknownAtom | DepAtom | AltAtom
+
+
+class ValueTemplate:
+    """A field value as a concatenation of atoms."""
+
+    def __init__(self, atoms: Sequence[Atom]) -> None:
+        self.atoms: Tuple[Atom, ...] = tuple(atoms)
+
+    @classmethod
+    def const(cls, value) -> "ValueTemplate":
+        return cls([ConstAtom(value)])
+
+    @classmethod
+    def unknown(cls, tag: str) -> "ValueTemplate":
+        return cls([UnknownAtom(tag)])
+
+    def is_const(self) -> bool:
+        return all(isinstance(a, ConstAtom) for a in self.atoms)
+
+    def const_value(self):
+        """The literal value when :meth:`is_const` (joined if several)."""
+        if not self.is_const():
+            raise ValueError("template is not constant")
+        if len(self.atoms) == 1:
+            return self.atoms[0].value
+        return "".join(str(a.value) for a in self.atoms)
+
+    def dep_atoms(self) -> List[DepAtom]:
+        out: List[DepAtom] = []
+        for atom in self.atoms:
+            if isinstance(atom, DepAtom):
+                out.append(atom)
+            elif isinstance(atom, AltAtom):
+                for option in atom.options:
+                    out.extend(option.dep_atoms())
+        return out
+
+    def unknown_atoms(self) -> List[UnknownAtom]:
+        out: List[UnknownAtom] = []
+        for atom in self.atoms:
+            if isinstance(atom, UnknownAtom):
+                out.append(atom)
+            elif isinstance(atom, AltAtom):
+                for option in atom.options:
+                    out.extend(option.unknown_atoms())
+        return out
+
+    def regex(self) -> str:
+        return "".join(a.regex() for a in self.atoms)
+
+    def matches(self, text: str) -> bool:
+        return re.fullmatch(self.regex(), str(text)) is not None
+
+    def canonical(self) -> str:
+        return "|".join(a.canonical() for a in self.atoms)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, ValueTemplate) and self.atoms == other.atoms
+
+    def __hash__(self) -> int:
+        return hash(self.atoms)
+
+    def __repr__(self) -> str:
+        return "ValueTemplate({})".format(self.canonical())
+
+
+class RequestTemplate:
+    """Template of a request: method, URI, and per-field templates.
+
+    ``fields`` maps a :class:`FieldPath` (header/query/body) to its
+    :class:`ValueTemplate`.  ``uri`` is the template of
+    ``origin + path`` (query handled by field paths).  ``body_kind`` is
+    ``form``, ``json``, or ``empty``.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        uri: ValueTemplate,
+        fields: Optional[Dict[FieldPath, ValueTemplate]] = None,
+        body_kind: str = "empty",
+    ) -> None:
+        self.method = method
+        self.uri = uri
+        self.fields: Dict[FieldPath, ValueTemplate] = dict(fields or {})
+        self.body_kind = body_kind
+
+    def uri_regex(self) -> str:
+        return self.uri.regex()
+
+    def matches_uri(self, uri_string: str) -> bool:
+        """Regex-match an observed URI (ignoring its query string)."""
+        base = uri_string.split("?", 1)[0]
+        return re.fullmatch(self.uri_regex(), base) is not None
+
+    def dep_atoms(self) -> List[Tuple[FieldPath, DepAtom]]:
+        out: List[Tuple[FieldPath, DepAtom]] = []
+        for path, template in self.fields.items():
+            for atom in template.dep_atoms():
+                out.append((path, atom))
+        for atom in self.uri.dep_atoms():
+            out.append((FieldPath("uri"), atom))
+        return out
+
+    def unknown_paths(self) -> List[FieldPath]:
+        paths = [p for p, t in self.fields.items() if not t.is_const()]
+        if not self.uri.is_const():
+            paths.append(FieldPath("uri"))
+        return paths
+
+    def canonical(self) -> str:
+        lines = [self.method, self.uri.canonical(), self.body_kind]
+        for path in sorted(self.fields, key=lambda p: p.to_string()):
+            lines.append("{}={}".format(path.to_string(), self.fields[path].canonical()))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "RequestTemplate({} {})".format(self.method, self.uri.canonical())
+
+
+class ResponseTemplate:
+    """What the app reads out of the response.
+
+    ``body_kind`` is ``json`` or ``blob``; ``paths`` are the JSON field
+    paths the program accesses (the signature's response side in
+    Fig. 5); ``headers`` are response headers read.
+    """
+
+    def __init__(
+        self,
+        body_kind: str = "json",
+        paths: Optional[Iterable[FieldPath]] = None,
+        headers: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.body_kind = body_kind
+        self.paths: Set[FieldPath] = set(paths or [])
+        self.headers: Set[str] = set(headers or [])
+
+    def canonical(self) -> str:
+        lines = [self.body_kind]
+        lines.extend(sorted(p.to_string() for p in self.paths))
+        lines.extend(sorted("H:" + h for h in self.headers))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return "ResponseTemplate({}, {} paths)".format(self.body_kind, len(self.paths))
+
+
+class TransactionSignature:
+    """One HTTP transaction signature (Fig. 5).
+
+    ``site`` is the static program location (``Class.method#k``);
+    ``variants`` enumerates the field-path sets that can be present
+    depending on run-time branch conditions (Fig. 8).
+    """
+
+    def __init__(
+        self,
+        site: str,
+        request: RequestTemplate,
+        response: ResponseTemplate,
+        variants: Optional[Iterable[FrozenSet[str]]] = None,
+        side_effect: bool = False,
+    ) -> None:
+        self.site = site
+        self.request = request
+        self.response = response
+        self.variants: List[FrozenSet[str]] = list(variants or [])
+        if not self.variants:
+            self.variants = [
+                frozenset(p.to_string() for p in request.fields)
+            ]
+        self.side_effect = side_effect
+
+    @property
+    def hash(self) -> str:
+        digest = hashlib.sha1(
+            (self.site + "\n" + self.request.canonical()).encode()
+        ).hexdigest()
+        return digest[:12]
+
+    def is_successor(self) -> bool:
+        """True when some request field derives from another response."""
+        return bool(self.request.dep_atoms())
+
+    def __repr__(self) -> str:
+        return "TransactionSignature({}, {} {})".format(
+            self.site, self.request.method, self.request.uri.canonical()
+        )
+
+
+class DependencyEdge:
+    """Field of ``pred``'s response feeds field of ``succ``'s request."""
+
+    def __init__(
+        self,
+        pred_site: str,
+        pred_path: FieldPath,
+        succ_site: str,
+        succ_path: FieldPath,
+    ) -> None:
+        self.pred_site = pred_site
+        self.pred_path = pred_path
+        self.succ_site = succ_site
+        self.succ_path = succ_path
+
+    def key(self) -> Tuple[str, str, str, str]:
+        return (
+            self.pred_site,
+            self.pred_path.to_string(),
+            self.succ_site,
+            self.succ_path.to_string(),
+        )
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DependencyEdge) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        return "DependencyEdge({}:{} -> {}:{})".format(
+            self.pred_site,
+            self.pred_path.to_string(),
+            self.succ_site,
+            self.succ_path.to_string(),
+        )
+
+
+class AnalysisResult:
+    """Everything the static phase hands to the proxy."""
+
+    def __init__(
+        self,
+        package: str,
+        signatures: List[TransactionSignature],
+        dependencies: List[DependencyEdge],
+    ) -> None:
+        self.package = package
+        self.signatures = signatures
+        self.dependencies = dependencies
+        self._by_site = {s.site: s for s in signatures}
+
+    def signature(self, site: str) -> TransactionSignature:
+        return self._by_site[site]
+
+    def sites(self) -> List[str]:
+        return [s.site for s in self.signatures]
+
+    def prefetchable(self) -> List[TransactionSignature]:
+        """Successor signatures — candidates for prefetching."""
+        return [s for s in self.signatures if s.is_successor()]
+
+    def successors_of(self, site: str) -> List[DependencyEdge]:
+        return [e for e in self.dependencies if e.pred_site == site]
+
+    def predecessors_of(self, site: str) -> List[DependencyEdge]:
+        return [e for e in self.dependencies if e.succ_site == site]
+
+    def max_chain_length(self) -> int:
+        """Longest path (in edges + 1 nodes) through the dependency DAG."""
+        adjacency: Dict[str, Set[str]] = {}
+        for edge in self.dependencies:
+            adjacency.setdefault(edge.pred_site, set()).add(edge.succ_site)
+        memo: Dict[str, int] = {}
+        visiting: Set[str] = set()
+
+        def depth(site: str) -> int:
+            if site in memo:
+                return memo[site]
+            if site in visiting:  # cycle guard (shouldn't happen)
+                return 0
+            visiting.add(site)
+            best = 0
+            for nxt in adjacency.get(site, ()):  # noqa: B007
+                best = max(best, depth(nxt))
+            visiting.discard(site)
+            memo[site] = best + 1
+            return memo[site]
+
+        if not self._by_site:
+            return 0
+        return max(depth(site) for site in self._by_site)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "signatures": len(self.signatures),
+            "prefetchable": len(self.prefetchable()),
+            "dependencies": len(self.dependencies),
+            "max_chain": self.max_chain_length(),
+        }
+
+    def __repr__(self) -> str:
+        return "AnalysisResult({}, {} signatures, {} deps)".format(
+            self.package, len(self.signatures), len(self.dependencies)
+        )

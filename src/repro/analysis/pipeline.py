@@ -1,0 +1,49 @@
+"""End-to-end static analysis entry point.
+
+``analyze_apk`` is the one call the rest of the framework uses: it
+validates the program, runs the network-aware taint/slicing pass (for
+diagnostics and the paper's coverage accounting), abstract-interprets
+every entry point, builds signatures, and extracts dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.dependency import extract_dependencies
+from repro.analysis.interp import AbstractInterpreter, InterpOptions
+from repro.analysis.model import AnalysisResult
+from repro.analysis.signatures import build_signatures
+from repro.apk.program import ApkFile
+from repro.apk.validate import validate_apk
+
+
+class AnalysisOptions(InterpOptions):
+    """Options for the full pipeline (superset of interpreter options)."""
+
+    def __init__(self, run_slicing: bool = True, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.run_slicing = run_slicing
+
+
+def analyze_apk(apk: ApkFile, options: Optional[AnalysisOptions] = None) -> AnalysisResult:
+    """Analyze an app binary; returns signatures + dependencies.
+
+    This is phase 1 of the paper's Fig. 4 ("static program analysis":
+    network-aware static taint analysis, signature building, dependency
+    analysis).
+    """
+    options = options or AnalysisOptions()
+    validate_apk(apk)
+    interpreter = AbstractInterpreter(apk, options)
+    recorder = interpreter.run()
+    signatures = build_signatures(recorder)
+    dependencies = extract_dependencies(signatures)
+    result = AnalysisResult(apk.package, signatures, dependencies)
+    if options.run_slicing:
+        # taint/slicing diagnostics: how much of the program feeds each
+        # transaction (reported, and exercised by the test suite)
+        from repro.analysis.slicing import slice_report
+
+        result.slices = slice_report(apk)
+    return result

@@ -1,0 +1,87 @@
+"""Human-readable signature reports (the paper's Fig. 5 rendering).
+
+Renders transaction signatures the way the paper presents them: the
+URI pattern, per-section request fields with ``.*`` wildcards and
+``(a|b)`` alternations, the response paths the app reads, and the
+dependency arrows between signatures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.analysis.model import AnalysisResult, TransactionSignature
+
+
+def render_signature(signature: TransactionSignature, width: int = 72) -> str:
+    """One signature in Fig. 5's layout."""
+    lines: List[str] = []
+    lines.append("Signature {} [{}]".format(signature.hash, signature.site))
+    if signature.side_effect:
+        lines.append("  !! side-effecting: never prefetched")
+    lines.append("  URI     {}".format(signature.request.uri.regex()))
+    lines.append("  Method  {}".format(signature.request.method))
+
+    sections: Dict[str, List[str]] = {"header": [], "query": [], "body": []}
+    for path, template in signature.request.fields.items():
+        if path.root not in sections:
+            continue
+        label = str(path.parts[0]) if path.parts else ""
+        rendered = template.regex()
+        if template.is_const():
+            rendered = str(template.const_value())
+        annotations = []
+        for atom in template.dep_atoms():  # recurses into alternations
+            annotations.append(
+                "<- {}:{}".format(atom.pred_site, atom.pred_path.to_string())
+            )
+        for atom in template.unknown_atoms():
+            annotations.append("[{}]".format(atom.tag))
+        suffix = "  " + " ".join(annotations) if annotations else ""
+        sections[path.root].append("    {}: {}{}".format(label, rendered, suffix))
+
+    for section in ("header", "query", "body"):
+        if sections[section]:
+            title = {"header": "Header", "query": "Query", "body": "Body"}[section]
+            kind = ""
+            if section == "body":
+                kind = " ({})".format(signature.request.body_kind)
+            lines.append("  {}{}".format(title, kind))
+            lines.extend(sections[section])
+
+    if signature.response.paths:
+        lines.append("  Response ({})".format(signature.response.body_kind))
+        for path in sorted(p.to_string() for p in signature.response.paths):
+            lines.append("    {}".format(path))
+    elif signature.response.body_kind == "blob":
+        lines.append("  Response (blob)")
+
+    if len(signature.variants) > 1:
+        lines.append("  Variants ({} run-time classes)".format(len(signature.variants)))
+        for variant in sorted(signature.variants, key=lambda v: (-len(v), sorted(v))):
+            lines.append("    {{{}}}".format(", ".join(sorted(variant))))
+    return "\n".join(lines)
+
+
+def render_report(result: AnalysisResult) -> str:
+    """The full analysis as text: signatures then the dependency map."""
+    lines: List[str] = []
+    summary = result.summary()
+    lines.append("Analysis of {}".format(result.package))
+    lines.append(
+        "{signatures} signatures ({prefetchable} prefetchable), "
+        "{dependencies} dependencies, longest chain {max_chain}".format(**summary)
+    )
+    lines.append("")
+    for signature in result.signatures:
+        lines.append(render_signature(signature))
+        lines.append("")
+    lines.append("Dependency map")
+    for edge in result.dependencies:
+        lines.append(
+            "  {}:{}".format(edge.pred_site, edge.pred_path.to_string())
+        )
+        lines.append(
+            "    --> {}:{}".format(edge.succ_site, edge.succ_path.to_string())
+        )
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Serialization of analysis results.
+
+Fig. 4 shows the framework shipping *signature files* ("Sig.") from the
+static-analysis phase to the proxy.  This module is that artifact: a
+stable JSON encoding of signatures and dependency edges, so analysis
+can run once offline and proxies can load the result at start-up
+(`AnalysisResult` → JSON → `AnalysisResult` round-trips exactly).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.model import (
+    AltAtom,
+    AnalysisResult,
+    ConstAtom,
+    DepAtom,
+    DependencyEdge,
+    RequestTemplate,
+    ResponseTemplate,
+    TransactionSignature,
+    UnknownAtom,
+    ValueTemplate,
+)
+from repro.httpmsg.fieldpath import FieldPath
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+def _atom_to_dict(atom) -> Dict:
+    if isinstance(atom, ConstAtom):
+        return {"kind": "const", "value": atom.value}
+    if isinstance(atom, UnknownAtom):
+        return {"kind": "unknown", "tag": atom.tag}
+    if isinstance(atom, DepAtom):
+        return {
+            "kind": "dep",
+            "pred_site": atom.pred_site,
+            "pred_path": atom.pred_path.to_string(),
+        }
+    if isinstance(atom, AltAtom):
+        return {
+            "kind": "alt",
+            "options": [_template_to_list(option) for option in atom.options],
+        }
+    raise TypeError("unknown atom type {!r}".format(atom))
+
+
+def _template_to_list(template: ValueTemplate) -> List[Dict]:
+    return [_atom_to_dict(atom) for atom in template.atoms]
+
+
+def _signature_to_dict(signature: TransactionSignature) -> Dict:
+    request = signature.request
+    return {
+        "site": signature.site,
+        "hash": signature.hash,
+        "side_effect": signature.side_effect,
+        "request": {
+            "method": request.method,
+            "uri": _template_to_list(request.uri),
+            "body_kind": request.body_kind,
+            "fields": [
+                {"path": path.to_string(), "template": _template_to_list(template)}
+                for path, template in request.fields.items()
+            ],
+        },
+        "response": {
+            "body_kind": signature.response.body_kind,
+            "paths": sorted(p.to_string() for p in signature.response.paths),
+            "headers": sorted(signature.response.headers),
+        },
+        "variants": [sorted(variant) for variant in signature.variants],
+    }
+
+
+def dumps(result: AnalysisResult, indent: int = 2) -> str:
+    """Encode a full analysis result as JSON text."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "package": result.package,
+        "signatures": [_signature_to_dict(s) for s in result.signatures],
+        "dependencies": [
+            {
+                "pred_site": e.pred_site,
+                "pred_path": e.pred_path.to_string(),
+                "succ_site": e.succ_site,
+                "succ_path": e.succ_path.to_string(),
+            }
+            for e in result.dependencies
+        ],
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# decoding
+# ----------------------------------------------------------------------
+def _atom_from_dict(data: Dict):
+    kind = data["kind"]
+    if kind == "const":
+        return ConstAtom(data["value"])
+    if kind == "unknown":
+        return UnknownAtom(data["tag"])
+    if kind == "dep":
+        return DepAtom(data["pred_site"], FieldPath.parse(data["pred_path"]))
+    if kind == "alt":
+        return AltAtom([_template_from_list(option) for option in data["options"]])
+    raise ValueError("unknown atom kind {!r}".format(kind))
+
+
+def _template_from_list(data: List[Dict]) -> ValueTemplate:
+    return ValueTemplate([_atom_from_dict(atom) for atom in data])
+
+
+def _signature_from_dict(data: Dict) -> TransactionSignature:
+    request_data = data["request"]
+    request = RequestTemplate(
+        method=request_data["method"],
+        uri=_template_from_list(request_data["uri"]),
+        fields={
+            FieldPath.parse(field["path"]): _template_from_list(field["template"])
+            for field in request_data["fields"]
+        },
+        body_kind=request_data["body_kind"],
+    )
+    response_data = data["response"]
+    response = ResponseTemplate(
+        body_kind=response_data["body_kind"],
+        paths={FieldPath.parse(p) for p in response_data["paths"]},
+        headers=set(response_data["headers"]),
+    )
+    return TransactionSignature(
+        site=data["site"],
+        request=request,
+        response=response,
+        variants=[frozenset(variant) for variant in data["variants"]],
+        side_effect=data.get("side_effect", False),
+    )
+
+
+def loads(text: str) -> AnalysisResult:
+    """Decode JSON text produced by :func:`dumps`."""
+    payload = json.loads(text)
+    version = payload.get("format")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            "unsupported signature-file format {!r} (expected {})".format(
+                version, FORMAT_VERSION
+            )
+        )
+    signatures = [_signature_from_dict(s) for s in payload["signatures"]]
+    dependencies = [
+        DependencyEdge(
+            pred_site=e["pred_site"],
+            pred_path=FieldPath.parse(e["pred_path"]),
+            succ_site=e["succ_site"],
+            succ_path=FieldPath.parse(e["succ_path"]),
+        )
+        for e in payload["dependencies"]
+    ]
+    return AnalysisResult(payload["package"], signatures, dependencies)

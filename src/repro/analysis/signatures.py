@@ -1,0 +1,287 @@
+"""Signature building: merge site snapshots into transaction signatures.
+
+Turns the raw :class:`~repro.analysis.interp.SiteRecorder` output into
+:class:`~repro.analysis.model.TransactionSignature` objects:
+
+* request URLs are split into a URI template plus query-field templates
+  (query strings embedded in string-built URLs, ``"/img?cid=" + id``,
+  are recognized);
+* request entries tagged with branch contexts expand into field-set
+  *variants* (Fig. 8), and same-field values differing across branches
+  merge into alternations (``count: (30|1)`` in Fig. 5);
+* response access paths recorded during interpretation become the
+  response template.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.absval import (
+    AEntry,
+    AJson,
+    AList,
+    ARequest,
+    ARespJson,
+    AConst,
+    AVal,
+    to_template,
+)
+from repro.analysis.interp import SiteRecorder, SiteSnapshot
+from repro.analysis.model import (
+    AltAtom,
+    ConstAtom,
+    RequestTemplate,
+    ResponseTemplate,
+    TransactionSignature,
+    ValueTemplate,
+)
+from repro.httpmsg.fieldpath import FieldPath
+
+#: an entry as flattened from one snapshot:
+#: (field path, value template, relative branch context)
+_FlatEntry = Tuple[FieldPath, ValueTemplate, Tuple[Tuple[str, str], ...]]
+
+
+def build_signatures(recorder: SiteRecorder) -> List[TransactionSignature]:
+    signatures: List[TransactionSignature] = []
+    for site in recorder.site_order:
+        snapshots = recorder.snapshots[site]
+        signatures.append(_build_signature(site, snapshots, recorder))
+    return signatures
+
+
+def _build_signature(
+    site: str, snapshots: List[SiteSnapshot], recorder: SiteRecorder
+) -> TransactionSignature:
+    method = _method_of(snapshots[0].request)
+    uri_options: List[ValueTemplate] = []
+    field_templates: Dict[FieldPath, List[ValueTemplate]] = {}
+    variants: Set[FrozenSet[str]] = set()
+    body_kinds: Set[str] = set()
+    side_effect = False
+
+    for snapshot in snapshots:
+        side_effect = side_effect or snapshot.side_effect
+        uri_template, entries, body_kind = _flatten_request(
+            snapshot.request, snapshot.exec_branch
+        )
+        body_kinds.add(body_kind)
+        _add_option(uri_options, uri_template)
+        for path, template, _branch in entries:
+            options = field_templates.setdefault(path, [])
+            _add_option(options, template)
+        variants |= _variants_of(entries)
+
+    request = RequestTemplate(
+        method=method,
+        uri=_merge_options(uri_options),
+        fields={path: _merge_options(opts) for path, opts in field_templates.items()},
+        body_kind=_pick_body_kind(body_kinds),
+    )
+    response = ResponseTemplate(
+        body_kind=recorder.response_kind.get(site, "json"),
+        paths=recorder.response_paths.get(site, set()),
+        headers=recorder.response_headers.get(site, set()),
+    )
+    return TransactionSignature(
+        site=site,
+        request=request,
+        response=response,
+        variants=sorted(variants, key=sorted),
+        side_effect=side_effect,
+    )
+
+
+def _method_of(request: ARequest) -> str:
+    if isinstance(request.method, AConst):
+        return str(request.method.value)
+    return "GET"
+
+
+def _pick_body_kind(kinds: Set[str]) -> str:
+    for kind in ("json", "form"):
+        if kind in kinds:
+            return kind
+    return "empty"
+
+
+def _add_option(options: List[ValueTemplate], template: ValueTemplate) -> None:
+    if all(template.canonical() != existing.canonical() for existing in options):
+        options.append(template)
+
+
+def _merge_options(options: List[ValueTemplate]) -> ValueTemplate:
+    if not options:
+        return ValueTemplate([ConstAtom("")])
+    if len(options) == 1:
+        return options[0]
+    return ValueTemplate([AltAtom(options)])
+
+
+# ----------------------------------------------------------------------
+# flattening one snapshot
+# ----------------------------------------------------------------------
+def _flatten_request(
+    request: ARequest, exec_branch: Tuple[Tuple[str, str], ...]
+) -> Tuple[ValueTemplate, List[_FlatEntry], str]:
+    fixed = dict(exec_branch)
+    entries: List[_FlatEntry] = []
+    history: List[Tuple[str, str, Tuple[Tuple[str, str], ...]]] = []
+
+    def occurrence_of(root: str, key: str, branch) -> int:
+        """Repeated-key index; entries in mutually-exclusive branch
+        arms share a slot (one concrete run sees only one of them)."""
+        count = 0
+        for prev_root, prev_key, prev_branch in history:
+            if prev_root == root and prev_key == key and _compatible(prev_branch, branch):
+                count += 1
+        history.append((root, key, branch))
+        return count
+
+    url_template = to_template(request.url)
+    uri_atoms, embedded_query = _split_uri(list(url_template.atoms))
+    uri_template = ValueTemplate(uri_atoms)
+    for key, template in embedded_query:
+        path = FieldPath("query", (key,), occurrence_of("query", key, ()))
+        entries.append((path, template, ()))
+
+    for root, bucket in (("header", request.headers), ("query", request.query)):
+        for entry in bucket:
+            flattened = _flatten_entry(root, entry, fixed, occurrence_of)
+            if flattened is not None:
+                entries.append(flattened)
+    body_kind = "empty"
+    if request.json_body is not None:
+        body_kind = "json"
+        _flatten_json(request.json_body, ("body",), entries)
+    elif request.form:
+        body_kind = "form"
+        for entry in request.form:
+            flattened = _flatten_entry("body", entry, fixed, occurrence_of)
+            if flattened is not None:
+                entries.append(flattened)
+    return uri_template, entries, body_kind
+
+
+def _compatible(a, b) -> bool:
+    """Can two branch contexts hold in the same concrete execution?"""
+    arms = dict(a)
+    return all(arms.get(branch_id, arm) == arm for branch_id, arm in b)
+
+
+def _flatten_entry(
+    root: str, entry: AEntry, fixed: Dict[str, str], occurrence_of
+) -> Optional[_FlatEntry]:
+    relative: List[Tuple[str, str]] = []
+    for branch_id, arm in entry.branch:
+        if branch_id in fixed:
+            if fixed[branch_id] != arm:
+                return None  # entry lives on an incompatible path
+        else:
+            relative.append((branch_id, arm))
+    branch = tuple(relative)
+    path = FieldPath(root, (entry.key,), occurrence_of(root, entry.key, branch))
+    return (path, to_template(entry.value), branch)
+
+
+def _flatten_json(value: AVal, prefix: Tuple, entries: List[_FlatEntry]) -> None:
+    if isinstance(value, AJson):
+        for key, child in value.entries.items():
+            _flatten_json(child, prefix + (key,), entries)
+        return
+    if isinstance(value, AList):
+        for index, child in enumerate(value.items):
+            _flatten_json(child, prefix + (index,), entries)
+        return
+    root, parts = prefix[0], prefix[1:]
+    if not parts:
+        # scalar json body: record as the root body field
+        parts = ("value",)
+    entries.append((FieldPath(root, parts), to_template(value), ()))
+
+
+# ----------------------------------------------------------------------
+# variants (branch-dependent field sets, Fig. 8)
+# ----------------------------------------------------------------------
+def _variants_of(entries: Sequence[_FlatEntry]) -> Set[FrozenSet[str]]:
+    branch_ids: List[str] = []
+    for _path, _template, branch in entries:
+        for branch_id, _arm in branch:
+            if branch_id not in branch_ids:
+                branch_ids.append(branch_id)
+    if not branch_ids:
+        return {frozenset(path.to_string() for path, _t, _b in entries)}
+    variants: Set[FrozenSet[str]] = set()
+    for arms in product(("then", "else"), repeat=len(branch_ids)):
+        combo = dict(zip(branch_ids, arms))
+        present = frozenset(
+            path.to_string()
+            for path, _template, branch in entries
+            if all(combo[b] == arm for b, arm in branch)
+        )
+        variants.add(present)
+    return variants
+
+
+# ----------------------------------------------------------------------
+# URI splitting: "<origin>/path?k=<dep>&x=1" -> uri + query fields
+# ----------------------------------------------------------------------
+def _split_uri(atoms: List) -> Tuple[List, List[Tuple[str, ValueTemplate]]]:
+    for index, atom in enumerate(atoms):
+        if isinstance(atom, ConstAtom) and "?" in str(atom.value):
+            before, _, after = str(atom.value).partition("?")
+            uri_atoms = list(atoms[:index])
+            if before:
+                uri_atoms.append(ConstAtom(before))
+            remainder: List = []
+            if after:
+                remainder.append(ConstAtom(after))
+            remainder.extend(atoms[index + 1 :])
+            return uri_atoms, _parse_query_atoms(remainder)
+    return list(atoms), []
+
+
+def _parse_query_atoms(atoms: List) -> List[Tuple[str, ValueTemplate]]:
+    pairs: List[Tuple[str, ValueTemplate]] = []
+    mode = "key"
+    key_buffer = ""
+    key: Optional[str] = None
+    value_atoms: List = []
+
+    def flush() -> None:
+        nonlocal key, value_atoms, mode, key_buffer
+        if key is not None:
+            template = ValueTemplate(value_atoms if value_atoms else [ConstAtom("")])
+            pairs.append((key, template))
+        key = None
+        value_atoms = []
+        key_buffer = ""
+        mode = "key"
+
+    for atom in atoms:
+        if isinstance(atom, ConstAtom):
+            text = str(atom.value)
+            while text:
+                if mode == "key":
+                    head, sep, text = text.partition("=")
+                    key_buffer += head
+                    if sep:
+                        key = key_buffer
+                        key_buffer = ""
+                        mode = "value"
+                        value_atoms = []
+                else:
+                    head, sep, text = text.partition("&")
+                    if head:
+                        value_atoms.append(ConstAtom(head))
+                    if sep:
+                        flush()
+        else:
+            if mode == "value":
+                value_atoms.append(atom)
+            # non-const atoms in key position are dropped (unsupported)
+    if mode == "value":
+        flush()
+    return pairs

@@ -1,0 +1,267 @@
+"""Bidirectional program slicing around network I/O.
+
+The paper (§4.1): *"Extractocol performs backward (forward) taint
+analysis to identify program slices that contain request (response)
+messages from network I/O methods"*, extended with on-demand alias
+analysis.  Here:
+
+* :func:`backward_slice` — from an ``Http.execute`` site, every
+  instruction whose value may flow into the request: def-use edges,
+  heap flows resolved through the points-to relation, call-graph edges
+  (arguments ← parameters, returns → call sites), and Intent
+  ``putExtra``/``getExtra`` pairs.
+* :func:`forward_slice` — from a response register, every instruction
+  that consumes a value derived from it.
+* :func:`slice_report` — per-site slice sizes, used as an analysis
+  diagnostic and asserted on in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.alias import PointsTo
+from repro.analysis.defuse import DefUse
+from repro.apk.ir import (
+    CallMethod,
+    Const,
+    GetField,
+    Instruction,
+    Invoke,
+    PutField,
+    Return,
+)
+from repro.apk.program import ApkFile, Method
+
+#: slice element: (method qualified name, instruction)
+SliceItem = Tuple[str, Instruction]
+
+
+class SliceContext:
+    """Shared per-APK state: def-use per method, alias relation, maps."""
+
+    def __init__(self, apk: ApkFile) -> None:
+        self.apk = apk
+        self.points_to = PointsTo(apk)
+        self._defuse: Dict[str, DefUse] = {}
+        self._method_by_name: Dict[str, Method] = {
+            method.ref.to_string(): method for method in apk.all_methods()
+        }
+        # call sites per callee: callee name -> [(caller name, CallMethod)]
+        self.call_sites: Dict[str, List[Tuple[str, CallMethod]]] = {}
+        # const values per (method, register) for Intent key matching
+        self.const_values: Dict[Tuple[str, str], object] = {}
+        # Intent put/get sites per key
+        self.intent_puts: Dict[str, List[Tuple[str, Invoke]]] = {}
+        self.intent_gets: Dict[str, List[Tuple[str, Invoke]]] = {}
+        self._index()
+
+    def _index(self) -> None:
+        for method in self.apk.all_methods():
+            owner = method.ref.to_string()
+            for instruction in method.body.walk():
+                if isinstance(instruction, Const):
+                    self.const_values[(owner, instruction.dst)] = instruction.value
+                elif isinstance(instruction, CallMethod):
+                    self.call_sites.setdefault(
+                        instruction.ref.to_string(), []
+                    ).append((owner, instruction))
+                elif isinstance(instruction, Invoke):
+                    if instruction.api == "Intent.putExtra":
+                        key = self.const_values.get((owner, instruction.args[1]))
+                        if isinstance(key, str):
+                            self.intent_puts.setdefault(key, []).append(
+                                (owner, instruction)
+                            )
+                    elif instruction.api == "Intent.getExtra":
+                        key = self.const_values.get((owner, instruction.args[1]))
+                        if isinstance(key, str):
+                            self.intent_gets.setdefault(key, []).append(
+                                (owner, instruction)
+                            )
+
+    def defuse(self, method_name: str) -> DefUse:
+        if method_name not in self._defuse:
+            self._defuse[method_name] = DefUse(self._method_by_name[method_name])
+        return self._defuse[method_name]
+
+    def method(self, name: str) -> Method:
+        return self._method_by_name[name]
+
+
+def backward_slice(
+    context: SliceContext,
+    method_name: str,
+    target: Instruction,
+    use_alias: bool = True,
+    max_items: int = 4000,
+) -> Set[SliceItem]:
+    """Instructions whose values may flow into ``target``'s operands."""
+    sliced: Set[Tuple[str, int]] = set()
+    result: Set[SliceItem] = set()
+    worklist: List[Tuple[str, Instruction]] = [(method_name, target)]
+
+    while worklist and len(result) < max_items:
+        owner, instruction = worklist.pop()
+        marker = (owner, id(instruction))
+        if marker in sliced:
+            continue
+        sliced.add(marker)
+        result.add((owner, instruction))
+
+        defuse = context.defuse(owner)
+        try:
+            node = defuse.cfg.node_of(instruction)
+        except KeyError:
+            continue
+        for register, def_indices in defuse.uses_of(node).items():
+            for def_index in def_indices:
+                if def_index is None:
+                    # register is a method parameter: jump to call sites
+                    param_position = _param_position(context, owner, register)
+                    if param_position is None:
+                        continue
+                    for caller, call in context.call_sites.get(owner, []):
+                        if param_position < len(call.args):
+                            worklist.append((caller, call))
+                    continue
+                definition = defuse.cfg.nodes[def_index].instruction
+                worklist.append((owner, definition))
+                worklist.extend(_extra_edges(context, owner, definition, use_alias))
+    return result
+
+
+def _param_position(
+    context: SliceContext, method_name: str, register: str
+) -> Optional[int]:
+    params = context.method(method_name).params
+    return params.index(register) if register in params else None
+
+
+def _extra_edges(
+    context: SliceContext, owner: str, definition: Instruction, use_alias: bool
+) -> List[SliceItem]:
+    """Heap, call, and Intent edges out of a defining instruction."""
+    edges: List[SliceItem] = []
+    if isinstance(definition, GetField) and use_alias:
+        for store_owner, store in context.points_to.stores_feeding(
+            owner, definition.obj, definition.field
+        ):
+            edges.append((store_owner, store))
+    elif isinstance(definition, CallMethod):
+        callee_name = definition.ref.to_string()
+        try:
+            callee = context.method(callee_name)
+        except KeyError:
+            return edges
+        for instruction in callee.body.walk():
+            if isinstance(instruction, Return) and instruction.src:
+                edges.append((callee_name, instruction))
+    elif isinstance(definition, Invoke) and definition.api == "Intent.getExtra":
+        key = context.const_values.get((owner, definition.args[1]))
+        if isinstance(key, str):
+            edges.extend(context.intent_puts.get(key, []))
+    return edges
+
+
+def forward_slice(
+    context: SliceContext,
+    method_name: str,
+    source: Instruction,
+    max_items: int = 4000,
+) -> Set[SliceItem]:
+    """Instructions consuming values derived from ``source``'s defs."""
+    result: Set[SliceItem] = set()
+    tainted: Set[Tuple[str, str]] = set()  # (method, register)
+    for register in source.defined_registers():
+        tainted.add((method_name, register))
+    tainted_fields: Set[Tuple[str, str]] = set()  # (object, field) via points-to
+
+    changed = True
+    while changed and len(result) < max_items:
+        changed = False
+        for method in context.apk.all_methods():
+            owner = method.ref.to_string()
+            for instruction in method.body.walk():
+                uses_taint = any(
+                    (owner, register) in tainted
+                    for register in instruction.used_registers()
+                )
+                if isinstance(instruction, GetField):
+                    receivers = context.points_to.objects_of(owner, instruction.obj)
+                    if any((obj, instruction.field) in tainted_fields for obj in receivers):
+                        uses_taint = True
+                if not uses_taint:
+                    continue
+                if (owner, instruction) not in result:
+                    result.add((owner, instruction))
+                    changed = True
+                for register in instruction.defined_registers():
+                    if (owner, register) not in tainted:
+                        tainted.add((owner, register))
+                        changed = True
+                if isinstance(instruction, PutField):
+                    if (owner, instruction.src) in tainted:
+                        for obj in context.points_to.objects_of(owner, instruction.obj):
+                            if (obj, instruction.field) not in tainted_fields:
+                                tainted_fields.add((obj, instruction.field))
+                                changed = True
+                if isinstance(instruction, CallMethod):
+                    callee_name = instruction.ref.to_string()
+                    try:
+                        callee = context.method(callee_name)
+                    except KeyError:
+                        continue
+                    for param, arg in zip(callee.params, instruction.args):
+                        if (owner, arg) in tainted and (callee_name, param) not in tainted:
+                            tainted.add((callee_name, param))
+                            changed = True
+                if isinstance(instruction, Invoke) and instruction.api == "Intent.putExtra":
+                    if (owner, instruction.args[2]) in tainted:
+                        key = context.const_values.get((owner, instruction.args[1]))
+                        if isinstance(key, str):
+                            for get_owner, get in context.intent_gets.get(key, []):
+                                if get.dst and (get_owner, get.dst) not in tainted:
+                                    tainted.add((get_owner, get.dst))
+                                    result.add((get_owner, get))
+                                    changed = True
+    return result
+
+
+def execute_sites(apk: ApkFile) -> List[Tuple[str, Invoke]]:
+    """All ``Http.execute`` call sites: (method name, instruction)."""
+    sites: List[Tuple[str, Invoke]] = []
+    for method in apk.all_methods():
+        owner = method.ref.to_string()
+        for instruction in method.body.walk():
+            if isinstance(instruction, Invoke) and instruction.api == "Http.execute":
+                sites.append((owner, instruction))
+    return sites
+
+
+def slice_report(apk: ApkFile, use_alias: bool = True) -> Dict[str, Dict[str, int]]:
+    """Per-execute-site backward/forward slice sizes."""
+    context = SliceContext(apk)
+    report: Dict[str, Dict[str, int]] = {}
+    for index, (owner, site) in enumerate(execute_sites(apk)):
+        backward = backward_slice(context, owner, site, use_alias=use_alias)
+        forward = forward_slice(context, owner, site)
+        report["{}#{}".format(owner, _site_ordinal(apk, owner, site))] = {
+            "backward": len(backward),
+            "forward": len(forward),
+        }
+        del index
+    return report
+
+
+def _site_ordinal(apk: ApkFile, owner: str, site: Invoke) -> int:
+    ordinal = 0
+    for method in apk.all_methods():
+        if method.ref.to_string() != owner:
+            continue
+        for instruction in method.body.walk():
+            if isinstance(instruction, Invoke) and instruction.api == "Http.execute":
+                if instruction is site:
+                    return ordinal
+                ordinal += 1
+    return ordinal

@@ -1,0 +1,73 @@
+"""Mini Android-app intermediate representation.
+
+The paper's framework takes an Android APK (Dalvik bytecode) as input.
+We replace the binary with a small register-based IR that preserves the
+properties the analysis has to fight with:
+
+* values flow through registers, **heap object fields** (with aliasing),
+  **Intents** crossing component boundaries, and **Rx observable
+  chains**;
+* HTTP requests are built piecewise through semantically-modelled API
+  calls (:mod:`repro.apk.api`) and fired at ``Http.execute`` sites;
+* request contents mix static constants, fields parsed out of earlier
+  responses, and **run-time-only environment values** (cookies,
+  user-agent, configured API hosts) that static analysis cannot know;
+* request bodies vary with **branch conditions** evaluated at run time.
+
+The same program object is consumed twice: :mod:`repro.analysis` walks
+it statically, and :mod:`repro.device` interprets it concretely inside
+the network simulator.  That shared representation is what makes the
+static-analysis-plus-dynamic-learning story testable end to end.
+"""
+
+from repro.apk.ir import (
+    Block,
+    CallMethod,
+    Const,
+    ForEach,
+    GetField,
+    If,
+    Instruction,
+    Invoke,
+    MethodRef,
+    Move,
+    New,
+    PutField,
+    Return,
+)
+from repro.apk.program import (
+    ApkFile,
+    AppClass,
+    Component,
+    EventSpec,
+    Method,
+    Screen,
+)
+from repro.apk.builder import AppBuilder, MethodBuilder
+from repro.apk.validate import ValidationError, validate_apk
+
+__all__ = [
+    "Instruction",
+    "Const",
+    "Move",
+    "New",
+    "GetField",
+    "PutField",
+    "Invoke",
+    "CallMethod",
+    "If",
+    "ForEach",
+    "Return",
+    "Block",
+    "MethodRef",
+    "Method",
+    "AppClass",
+    "Component",
+    "Screen",
+    "EventSpec",
+    "ApkFile",
+    "AppBuilder",
+    "MethodBuilder",
+    "validate_apk",
+    "ValidationError",
+]

@@ -1,0 +1,122 @@
+"""Catalog of semantically-modelled APIs.
+
+The static analyzer needs "semantic models" of the framework APIs an
+app calls (the paper extends Extractocol's semantic model, §4.1 and
+§5).  This module is the single source of truth both the analyzer and
+the interpreter dispatch on.
+
+Tags:
+
+* ``network``      — the HTTP send site (taint sink for requests,
+                     taint source for responses).
+* ``runtime_only`` — value is unknown to static analysis (wildcard in
+                     the signature; dynamic learning must resolve it).
+* ``unstable``     — runtime value differs on every call (nonces);
+                     requests containing one can never be served from
+                     the prefetch cache.
+* ``render``       — UI output sink; ends a user-perceived interaction.
+* ``intent``       — participates in the Intent map (§4.1 extension 1).
+* ``rx``           — RxAndroid operator (§4.1 extension 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+
+class ApiSpec:
+    """Arity and semantic tags of one modelled API."""
+
+    __slots__ = ("name", "arity", "returns", "tags")
+
+    def __init__(self, name: str, arity: int, returns: bool, tags: FrozenSet[str]) -> None:
+        self.name = name
+        self.arity = arity
+        self.returns = returns
+        self.tags = tags
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+
+def _spec(name: str, arity: int, returns: bool, *tags: str) -> ApiSpec:
+    return ApiSpec(name, arity, returns, frozenset(tags))
+
+
+CATALOG: Dict[str, ApiSpec] = {
+    spec.name: spec
+    for spec in [
+        # strings
+        _spec("Str.concat", 2, True),
+        # HTTP request construction
+        _spec("Http.newRequest", 2, True),
+        _spec("Http.addHeader", 3, False),
+        _spec("Http.addQuery", 3, False),
+        _spec("Http.addFormField", 3, False),
+        _spec("Http.setJsonBody", 2, False),
+        # the network boundary
+        _spec("Http.execute", 1, True, "network"),
+        # HTTP response consumption
+        _spec("Http.bodyJson", 1, True),
+        _spec("Http.bodyBlob", 1, True),
+        _spec("Http.header", 2, True),
+        # JSON values
+        _spec("Json.new", 0, True),
+        _spec("Json.put", 3, False),
+        _spec("Json.get", 2, True),
+        _spec("Json.index", 2, True),
+        _spec("Json.has", 2, True),
+        # lists
+        _spec("List.new", 0, True),
+        _spec("List.add", 2, False),
+        # Intents (implicit inter-component flow)
+        _spec("Intent.new", 0, True, "intent"),
+        _spec("Intent.putExtra", 3, False, "intent"),
+        _spec("Intent.getExtra", 2, True, "intent"),
+        _spec("Component.start", 2, False, "intent"),
+        # RxAndroid observable sequences
+        _spec("Rx.just", 1, True, "rx"),
+        _spec("Rx.defer", 1, True, "rx"),
+        _spec("Rx.map", 2, True, "rx"),
+        _spec("Rx.flatMap", 2, True, "rx"),
+        _spec("Rx.zip", 3, True, "rx"),
+        _spec("Rx.subscribe", 2, False, "rx"),
+        # environment (run-time-only values)
+        _spec("Env.userAgent", 0, True, "runtime_only"),
+        _spec("Env.cookie", 0, True, "runtime_only"),
+        _spec("Env.config", 1, True, "runtime_only"),
+        _spec("Env.deviceId", 0, True, "runtime_only"),
+        _spec("Env.flag", 1, True, "runtime_only"),
+        _spec("Env.nonce", 0, True, "runtime_only", "unstable"),
+        # UI
+        _spec("Ui.render", 1, False, "render"),
+    ]
+}
+
+
+def spec_for(api: str) -> ApiSpec:
+    try:
+        return CATALOG[api]
+    except KeyError:
+        raise KeyError("unknown API {!r}; add it to repro.apk.api.CATALOG".format(api))
+
+
+def is_known(api: str) -> bool:
+    return api in CATALOG
+
+
+def network_sink(api: str) -> bool:
+    return is_known(api) and CATALOG[api].has_tag("network")
+
+
+def runtime_only(api: str) -> bool:
+    return is_known(api) and CATALOG[api].has_tag("runtime_only")
+
+
+#: Unknown-value source tags the analyzer attaches to wildcards, so the
+#: proxy knows *why* a field is unknown (useful in reports/tests).
+def unknown_tag(api: str, literal_arg: Optional[str] = None) -> str:
+    short = api.split(".", 1)[1]
+    if literal_arg is not None:
+        return "env:{}:{}".format(short, literal_arg)
+    return "env:{}".format(short)

@@ -1,0 +1,326 @@
+"""Fluent builders for writing app programs compactly.
+
+The five evaluated apps (:mod:`repro.apps`) are hand-written IR; this
+DSL keeps them readable while still generating real instructions::
+
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    url = m.concat(m.config("api_host"), m.const("/api/get-feed"))
+    req = m.new_request("GET", url)
+    m.add_header(req, "User-Agent", m.user_agent())
+    resp = m.execute(req)
+    feed = m.body_json(resp)
+    with m.foreach(m.json_get(feed, "items")) as item:
+        ...
+
+Control-flow helpers (:meth:`MethodBuilder.foreach`,
+:meth:`MethodBuilder.if_`) are context managers that nest blocks.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, List, Optional, Union
+
+from repro.apk.api import spec_for
+from repro.apk.ir import (
+    Block,
+    CallMethod,
+    Const,
+    ForEach,
+    GetField,
+    If,
+    Instruction,
+    Invoke,
+    MethodRef,
+    Move,
+    New,
+    PutField,
+    Return,
+)
+from repro.apk.program import ApkFile, AppClass, Component, EventSpec, Method, Screen
+
+Reg = str
+
+
+class MethodBuilder:
+    """Builds one method body, allocating fresh registers."""
+
+    def __init__(self, name: str, params: Optional[List[str]] = None) -> None:
+        self.method = Method(name, params if params is not None else ["this"])
+        self._counter = 0
+        self._stack: List[Block] = [self.method.body]
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def fresh(self, hint: str = "v") -> Reg:
+        self._counter += 1
+        return "{}{}".format(hint, self._counter)
+
+    def emit(self, instruction: Instruction) -> Instruction:
+        self._stack[-1].append(instruction)
+        return instruction
+
+    def _value(self, value: Union[Reg, "Lit"]) -> Reg:
+        """Accept a register name or a :class:`Lit`; return a register."""
+        if isinstance(value, Lit):
+            return self.const(value.value)
+        return value
+
+    # ------------------------------------------------------------------
+    # core instructions
+    # ------------------------------------------------------------------
+    def const(self, value: Any, hint: str = "c") -> Reg:
+        dst = self.fresh(hint)
+        self.emit(Const(dst, value))
+        return dst
+
+    def move(self, src: Reg) -> Reg:
+        dst = self.fresh("m")
+        self.emit(Move(dst, src))
+        return dst
+
+    def new(self, class_name: str) -> Reg:
+        dst = self.fresh("o")
+        self.emit(New(dst, class_name))
+        return dst
+
+    def get_field(self, obj: Reg, field: str) -> Reg:
+        dst = self.fresh("f")
+        self.emit(GetField(dst, obj, field))
+        return dst
+
+    def put_field(self, obj: Reg, field: str, src: Reg) -> None:
+        self.emit(PutField(obj, field, src))
+
+    def invoke(self, api: str, *args: Union[Reg, "Lit"]) -> Optional[Reg]:
+        spec = spec_for(api)
+        registers = [self._value(a) for a in args]
+        if len(registers) != spec.arity:
+            raise ValueError(
+                "{} expects {} args, got {}".format(api, spec.arity, len(registers))
+            )
+        dst = self.fresh("r") if spec.returns else None
+        self.emit(Invoke(dst, api, registers))
+        return dst
+
+    def call(self, ref: Union[str, MethodRef], *args: Union[Reg, "Lit"]) -> Reg:
+        if isinstance(ref, str):
+            ref = MethodRef.parse(ref)
+        dst = self.fresh("r")
+        self.emit(CallMethod(dst, ref, [self._value(a) for a in args]))
+        return dst
+
+    def ret(self, src: Optional[Reg] = None) -> None:
+        self.emit(Return(src))
+
+    @contextmanager
+    def if_(self, cond: Reg):
+        instruction = If(cond, Block(), Block())
+        self.emit(instruction)
+        self._stack.append(instruction.then_block)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def else_(self):
+        """Attach to the most recent If in the current block."""
+        current = self._stack[-1]
+        last = current.instructions[-1]
+        if not isinstance(last, If):
+            raise ValueError("else_ must directly follow if_")
+        self._stack.append(last.else_block)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    @contextmanager
+    def foreach(self, src: Reg, hint: str = "item", parallel: bool = False):
+        var = self.fresh(hint)
+        instruction = ForEach(var, src, Block(), parallel=parallel)
+        self.emit(instruction)
+        self._stack.append(instruction.body)
+        try:
+            yield var
+        finally:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # convenience wrappers over the API catalog
+    # ------------------------------------------------------------------
+    def concat(self, *parts: Union[Reg, "Lit"]) -> Reg:
+        if not parts:
+            raise ValueError("concat needs at least one part")
+        registers = [self._value(p) for p in parts]
+        acc = registers[0]
+        for part in registers[1:]:
+            acc = self.invoke("Str.concat", acc, part)
+        return acc
+
+    def new_request(self, method: str, url: Reg) -> Reg:
+        return self.invoke("Http.newRequest", Lit(method), url)
+
+    def add_header(self, req: Reg, name: str, value: Union[Reg, "Lit"]) -> None:
+        self.invoke("Http.addHeader", req, Lit(name), value)
+
+    def add_query(self, req: Reg, key: str, value: Union[Reg, "Lit"]) -> None:
+        self.invoke("Http.addQuery", req, Lit(key), value)
+
+    def add_form_field(self, req: Reg, key: str, value: Union[Reg, "Lit"]) -> None:
+        self.invoke("Http.addFormField", req, Lit(key), value)
+
+    def set_json_body(self, req: Reg, obj: Reg) -> None:
+        self.invoke("Http.setJsonBody", req, obj)
+
+    def execute(self, req: Reg) -> Reg:
+        return self.invoke("Http.execute", req)
+
+    def body_json(self, resp: Reg) -> Reg:
+        return self.invoke("Http.bodyJson", resp)
+
+    def body_blob(self, resp: Reg) -> Reg:
+        return self.invoke("Http.bodyBlob", resp)
+
+    def json_new(self) -> Reg:
+        return self.invoke("Json.new")
+
+    def json_put(self, obj: Reg, key: str, value: Union[Reg, "Lit"]) -> None:
+        self.invoke("Json.put", obj, Lit(key), value)
+
+    def json_get(self, obj: Reg, key: str) -> Reg:
+        return self.invoke("Json.get", obj, Lit(key))
+
+    def json_path(self, obj: Reg, *keys: str) -> Reg:
+        for key in keys:
+            obj = self.json_get(obj, key)
+        return obj
+
+    def json_has(self, obj: Reg, key: str) -> Reg:
+        return self.invoke("Json.has", obj, Lit(key))
+
+    def intent_new(self) -> Reg:
+        return self.invoke("Intent.new")
+
+    def intent_put(self, intent: Reg, key: str, value: Union[Reg, "Lit"]) -> None:
+        self.invoke("Intent.putExtra", intent, Lit(key), value)
+
+    def intent_get(self, intent: Reg, key: str) -> Reg:
+        return self.invoke("Intent.getExtra", intent, Lit(key))
+
+    def start_component(self, intent: Reg, component: str) -> None:
+        self.invoke("Component.start", intent, Lit(component))
+
+    def rx_just(self, value: Reg) -> Reg:
+        return self.invoke("Rx.just", value)
+
+    def rx_defer(self, fn: str) -> Reg:
+        return self.invoke("Rx.defer", Lit(fn))
+
+    def rx_map(self, obs: Reg, fn: str) -> Reg:
+        return self.invoke("Rx.map", obs, Lit(fn))
+
+    def rx_flat_map(self, obs: Reg, fn: str) -> Reg:
+        return self.invoke("Rx.flatMap", obs, Lit(fn))
+
+    def rx_subscribe(self, obs: Reg, fn: str) -> None:
+        self.invoke("Rx.subscribe", obs, Lit(fn))
+
+    def user_agent(self) -> Reg:
+        return self.invoke("Env.userAgent")
+
+    def cookie(self) -> Reg:
+        return self.invoke("Env.cookie")
+
+    def config(self, key: str) -> Reg:
+        return self.invoke("Env.config", Lit(key))
+
+    def device_id(self) -> Reg:
+        return self.invoke("Env.deviceId")
+
+    def flag(self, key: str) -> Reg:
+        return self.invoke("Env.flag", Lit(key))
+
+    def nonce(self) -> Reg:
+        return self.invoke("Env.nonce")
+
+    def render(self, value: Reg) -> None:
+        self.invoke("Ui.render", value)
+
+
+class Lit:
+    """Wrapper marking a literal argument in builder calls."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class AppBuilder:
+    """Builds a whole :class:`ApkFile`."""
+
+    def __init__(self, package: str, label: str = "") -> None:
+        self.apk = ApkFile(package, label=label)
+
+    def app_class(self, name: str) -> AppClass:
+        if name not in self.apk.classes:
+            self.apk.add_class(AppClass(name))
+        return self.apk.classes[name]
+
+    def method(self, class_name: str, builder: MethodBuilder) -> MethodRef:
+        app_class = self.app_class(class_name)
+        app_class.add_method(builder.method)
+        return builder.method.ref
+
+    def component(
+        self,
+        name: str,
+        class_name: str,
+        screen: Optional[str] = None,
+        kind: str = "activity",
+        main: bool = False,
+        on_start: str = "onStart",
+    ) -> Component:
+        component = Component(
+            name, class_name, kind=kind, screen=screen, on_start=on_start
+        )
+        return self.apk.add_component(component, main=main)
+
+    def screen(self, name: str) -> Screen:
+        if name not in self.apk.screens:
+            self.apk.add_screen(Screen(name))
+        return self.apk.screens[name]
+
+    def event(
+        self,
+        screen_name: str,
+        event_name: str,
+        handler: Union[str, MethodRef],
+        takes_index: bool = False,
+        side_effect: bool = False,
+        weight: float = 1.0,
+        description: str = "",
+    ) -> EventSpec:
+        if isinstance(handler, str):
+            handler = MethodRef.parse(handler)
+        spec = EventSpec(
+            event_name,
+            handler,
+            takes_index=takes_index,
+            side_effect=side_effect,
+            weight=weight,
+            description=description,
+        )
+        return self.screen(screen_name).add_event(spec)
+
+    def config_default(self, key: str, value: str) -> None:
+        self.apk.config_defaults[key] = value
+
+    def build(self) -> ApkFile:
+        from repro.apk.validate import validate_apk
+
+        validate_apk(self.apk)
+        return self.apk

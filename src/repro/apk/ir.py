@@ -1,0 +1,293 @@
+"""IR instructions.
+
+Register machine with structured control flow.  Registers are named
+strings local to a method; ``this`` refers to the enclosing component
+instance.  Heap access goes through :class:`GetField`/:class:`PutField`
+on object registers, which is where alias analysis earns its keep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+class MethodRef:
+    """Reference to an app method: ``Class.method``."""
+
+    __slots__ = ("class_name", "method_name")
+
+    def __init__(self, class_name: str, method_name: str) -> None:
+        self.class_name = class_name
+        self.method_name = method_name
+
+    @classmethod
+    def parse(cls, text: str) -> "MethodRef":
+        class_name, _, method_name = text.rpartition(".")
+        if not class_name:
+            raise ValueError("method ref needs Class.method: {!r}".format(text))
+        return cls(class_name, method_name)
+
+    def to_string(self) -> str:
+        return "{}.{}".format(self.class_name, self.method_name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MethodRef):
+            return NotImplemented
+        return (self.class_name, self.method_name) == (
+            other.class_name,
+            other.method_name,
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.class_name, self.method_name))
+
+    def __repr__(self) -> str:
+        return "MethodRef({!r})".format(self.to_string())
+
+
+class Instruction:
+    """Base class for IR instructions."""
+
+    kind = "abstract"
+
+    def defined_registers(self) -> List[str]:
+        """Registers this instruction writes."""
+        return []
+
+    def used_registers(self) -> List[str]:
+        """Registers this instruction reads."""
+        return []
+
+    def child_blocks(self) -> List["Block"]:
+        return []
+
+
+class Const(Instruction):
+    """``dst = literal``"""
+
+    kind = "const"
+
+    def __init__(self, dst: str, value: Any) -> None:
+        self.dst = dst
+        self.value = value
+
+    def defined_registers(self) -> List[str]:
+        return [self.dst]
+
+    def __repr__(self) -> str:
+        return "{} = const {!r}".format(self.dst, self.value)
+
+
+class Move(Instruction):
+    """``dst = src``"""
+
+    kind = "move"
+
+    def __init__(self, dst: str, src: str) -> None:
+        self.dst = dst
+        self.src = src
+
+    def defined_registers(self) -> List[str]:
+        return [self.dst]
+
+    def used_registers(self) -> List[str]:
+        return [self.src]
+
+    def __repr__(self) -> str:
+        return "{} = move {}".format(self.dst, self.src)
+
+
+class New(Instruction):
+    """``dst = new ClassName`` — a heap allocation site."""
+
+    kind = "new"
+
+    def __init__(self, dst: str, class_name: str) -> None:
+        self.dst = dst
+        self.class_name = class_name
+
+    def defined_registers(self) -> List[str]:
+        return [self.dst]
+
+    def __repr__(self) -> str:
+        return "{} = new {}".format(self.dst, self.class_name)
+
+
+class GetField(Instruction):
+    """``dst = obj.field``"""
+
+    kind = "get_field"
+
+    def __init__(self, dst: str, obj: str, field: str) -> None:
+        self.dst = dst
+        self.obj = obj
+        self.field = field
+
+    def defined_registers(self) -> List[str]:
+        return [self.dst]
+
+    def used_registers(self) -> List[str]:
+        return [self.obj]
+
+    def __repr__(self) -> str:
+        return "{} = {}.{}".format(self.dst, self.obj, self.field)
+
+
+class PutField(Instruction):
+    """``obj.field = src``"""
+
+    kind = "put_field"
+
+    def __init__(self, obj: str, field: str, src: str) -> None:
+        self.obj = obj
+        self.field = field
+        self.src = src
+
+    def used_registers(self) -> List[str]:
+        return [self.obj, self.src]
+
+    def __repr__(self) -> str:
+        return "{}.{} = {}".format(self.obj, self.field, self.src)
+
+
+class Invoke(Instruction):
+    """``dst = Api.call(args...)`` — semantically-modelled API call.
+
+    ``api`` names an entry in :mod:`repro.apk.api`; ``args`` are
+    register names.  ``dst`` may be ``None`` for void calls.
+    """
+
+    kind = "invoke"
+
+    def __init__(self, dst: Optional[str], api: str, args: Sequence[str] = ()) -> None:
+        self.dst = dst
+        self.api = api
+        self.args = list(args)
+
+    def defined_registers(self) -> List[str]:
+        return [self.dst] if self.dst else []
+
+    def used_registers(self) -> List[str]:
+        return list(self.args)
+
+    def __repr__(self) -> str:
+        target = "{} = ".format(self.dst) if self.dst else ""
+        return "{}{}({})".format(target, self.api, ", ".join(self.args))
+
+
+class CallMethod(Instruction):
+    """``dst = Class.method(args...)`` — app-internal call."""
+
+    kind = "call"
+
+    def __init__(
+        self, dst: Optional[str], ref: MethodRef, args: Sequence[str] = ()
+    ) -> None:
+        self.dst = dst
+        self.ref = ref
+        self.args = list(args)
+
+    def defined_registers(self) -> List[str]:
+        return [self.dst] if self.dst else []
+
+    def used_registers(self) -> List[str]:
+        return list(self.args)
+
+    def __repr__(self) -> str:
+        target = "{} = ".format(self.dst) if self.dst else ""
+        return "{}call {}({})".format(target, self.ref.to_string(), ", ".join(self.args))
+
+
+class If(Instruction):
+    """Structured conditional on a boolean register."""
+
+    kind = "if"
+
+    def __init__(self, cond: str, then_block: "Block", else_block: Optional["Block"] = None) -> None:
+        self.cond = cond
+        self.then_block = then_block
+        self.else_block = else_block if else_block is not None else Block()
+
+    def used_registers(self) -> List[str]:
+        return [self.cond]
+
+    def child_blocks(self) -> List["Block"]:
+        return [self.then_block, self.else_block]
+
+    def __repr__(self) -> str:
+        return "if {} then <{}> else <{}>".format(
+            self.cond, len(self.then_block), len(self.else_block)
+        )
+
+
+class ForEach(Instruction):
+    """Structured loop over a list-valued register.
+
+    ``parallel=True`` models apps issuing the per-element work (e.g.
+    thumbnail fetches) on concurrent connections; the device runtime
+    spawns the iterations as simultaneous simulator processes and joins
+    them, while the static analyzer treats both forms identically.
+    """
+
+    kind = "foreach"
+
+    def __init__(self, var: str, src: str, body: "Block", parallel: bool = False) -> None:
+        self.var = var
+        self.src = src
+        self.body = body
+        self.parallel = parallel
+
+    def defined_registers(self) -> List[str]:
+        return [self.var]
+
+    def used_registers(self) -> List[str]:
+        return [self.src]
+
+    def child_blocks(self) -> List["Block"]:
+        return [self.body]
+
+    def __repr__(self) -> str:
+        return "foreach {} in {} <{}>".format(self.var, self.src, len(self.body))
+
+
+class Return(Instruction):
+    """``return src`` (``src`` may be ``None``)."""
+
+    kind = "return"
+
+    def __init__(self, src: Optional[str] = None) -> None:
+        self.src = src
+
+    def used_registers(self) -> List[str]:
+        return [self.src] if self.src else []
+
+    def __repr__(self) -> str:
+        return "return {}".format(self.src or "")
+
+
+class Block:
+    """A straight-line sequence of instructions."""
+
+    def __init__(self, instructions: Optional[List[Instruction]] = None) -> None:
+        self.instructions: List[Instruction] = list(instructions or [])
+
+    def append(self, instruction: Instruction) -> Instruction:
+        self.instructions.append(instruction)
+        return instruction
+
+    def walk(self):
+        """Yield every instruction, recursing into child blocks."""
+        for instruction in self.instructions:
+            yield instruction
+            for child in instruction.child_blocks():
+                for inner in child.walk():
+                    yield inner
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:
+        return "Block(<{} instructions>)".format(len(self.instructions))

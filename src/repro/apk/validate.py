@@ -1,0 +1,178 @@
+"""Static well-formedness checks for APK programs.
+
+Run before analysis/execution so that mistakes in hand-written app
+programs fail loudly at build time instead of mysteriously mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.apk.api import is_known, spec_for
+from repro.apk.ir import (
+    Block,
+    CallMethod,
+    Const,
+    ForEach,
+    If,
+    Invoke,
+    MethodRef,
+)
+from repro.apk.program import ApkFile, Method
+
+#: APIs whose final argument must be a const method-reference string.
+_FUNCREF_APIS = {"Rx.defer", "Rx.map", "Rx.flatMap", "Rx.subscribe", "Rx.zip"}
+
+
+class ValidationError(Exception):
+    """The app program is malformed; message lists every finding."""
+
+    def __init__(self, findings: List[str]) -> None:
+        super().__init__("\n".join(findings))
+        self.findings = findings
+
+
+def validate_apk(apk: ApkFile) -> None:
+    findings: List[str] = []
+    for method in apk.all_methods():
+        findings.extend(_check_method(apk, method))
+    for component in apk.components.values():
+        if component.class_name not in apk.classes:
+            findings.append(
+                "component {} references missing class {}".format(
+                    component.name, component.class_name
+                )
+            )
+        else:
+            try:
+                apk.resolve(component.start_ref)
+            except KeyError:
+                findings.append(
+                    "component {} missing lifecycle method {}".format(
+                        component.name, component.start_ref.to_string()
+                    )
+                )
+        if component.screen is not None and component.screen not in apk.screens:
+            findings.append(
+                "component {} references missing screen {}".format(
+                    component.name, component.screen
+                )
+            )
+    for screen in apk.screens.values():
+        for event in screen.events.values():
+            try:
+                apk.resolve(event.handler)
+            except KeyError:
+                findings.append(
+                    "screen {} event {} references missing handler {}".format(
+                        screen.name, event.name, event.handler.to_string()
+                    )
+                )
+    if apk.main_component is None:
+        findings.append("apk has no main component")
+    if findings:
+        raise ValidationError(findings)
+
+
+def _check_method(apk: ApkFile, method: Method) -> List[str]:
+    findings: List[str] = []
+    where = method.ref.to_string()
+
+    consts = {}  # register -> literal value (for funcref/start checks)
+    for instruction in method.body.walk():
+        if isinstance(instruction, Const):
+            consts[instruction.dst] = instruction.value
+
+    def check_block(block: Block, defined: Set[str]) -> Set[str]:
+        for instruction in block:
+            for register in instruction.used_registers():
+                if register not in defined:
+                    findings.append(
+                        "{}: register {!r} used before definition in {!r}".format(
+                            where, register, instruction
+                        )
+                    )
+            if isinstance(instruction, Invoke):
+                if not is_known(instruction.api):
+                    findings.append(
+                        "{}: unknown API {!r}".format(where, instruction.api)
+                    )
+                else:
+                    spec = spec_for(instruction.api)
+                    if len(instruction.args) != spec.arity:
+                        findings.append(
+                            "{}: {} called with {} args (wants {})".format(
+                                where,
+                                instruction.api,
+                                len(instruction.args),
+                                spec.arity,
+                            )
+                        )
+                    findings.extend(_check_special(apk, where, instruction, consts))
+            if isinstance(instruction, CallMethod):
+                try:
+                    target = apk.resolve(instruction.ref)
+                except KeyError:
+                    findings.append(
+                        "{}: call to missing method {}".format(
+                            where, instruction.ref.to_string()
+                        )
+                    )
+                else:
+                    if len(instruction.args) != len(target.params):
+                        findings.append(
+                            "{}: call {} with {} args (wants {})".format(
+                                where,
+                                instruction.ref.to_string(),
+                                len(instruction.args),
+                                len(target.params),
+                            )
+                        )
+            if isinstance(instruction, If):
+                then_defined = check_block(instruction.then_block, set(defined))
+                else_defined = check_block(instruction.else_block, set(defined))
+                # only registers defined on *both* arms survive the join
+                defined |= then_defined & else_defined
+            elif isinstance(instruction, ForEach):
+                inner = set(defined)
+                inner.add(instruction.var)
+                check_block(instruction.body, inner)
+                # loop may run zero times: its defs don't survive
+            for register in instruction.defined_registers():
+                defined.add(register)
+        return defined
+
+    check_block(method.body, set(method.params))
+    return findings
+
+
+def _check_special(apk: ApkFile, where: str, instruction: Invoke, consts) -> List[str]:
+    findings: List[str] = []
+    if instruction.api in _FUNCREF_APIS:
+        fn_register = instruction.args[-1]
+        fn_value = consts.get(fn_register)
+        if not isinstance(fn_value, str):
+            findings.append(
+                "{}: {} last arg must be a const 'Class.method' string".format(
+                    where, instruction.api
+                )
+            )
+        else:
+            try:
+                apk.resolve(MethodRef.parse(fn_value))
+            except (KeyError, ValueError):
+                findings.append(
+                    "{}: {} references missing method {!r}".format(
+                        where, instruction.api, fn_value
+                    )
+                )
+    if instruction.api == "Component.start":
+        component_register = instruction.args[1]
+        component_name = consts.get(component_register)
+        if not isinstance(component_name, str) or component_name not in apk.components:
+            findings.append(
+                "{}: Component.start target {!r} is not a component".format(
+                    where, component_name
+                )
+            )
+    return findings

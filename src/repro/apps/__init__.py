@@ -1,0 +1,12 @@
+"""The five evaluated apps (Table 1) as synthetic programs.
+
+Each module builds an :class:`~repro.apk.ApkFile` whose transaction
+structure mirrors the corresponding commercial app as described in the
+paper (§2, Figs. 1–3, 5, 11, 12 and Tables 1–2), plus the matching
+origin-server backends.
+"""
+
+from repro.apps.base import AppSpec, OriginSpec
+from repro.apps.registry import all_apps, app_names, get_app
+
+__all__ = ["AppSpec", "OriginSpec", "all_apps", "app_names", "get_app"]

@@ -1,0 +1,108 @@
+"""Common structure describing one evaluated app."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apk.program import ApkFile
+from repro.device.profile import DeviceProfile
+from repro.netsim.link import Link
+from repro.netsim.sim import Simulator
+from repro.netsim.transport import OriginMap
+from repro.server.content import Catalog
+from repro.server.origin import OriginServer
+
+
+class OriginSpec:
+    """One origin server an app talks to: address, RTT, and factory."""
+
+    def __init__(
+        self,
+        origin: str,
+        rtt: float,
+        build: Callable[[Simulator, Catalog], OriginServer],
+        label: str = "",
+    ) -> None:
+        self.origin = origin
+        self.rtt = rtt
+        self.build = build
+        self.label = label or origin
+
+
+class AppSpec:
+    """Everything the experiment harness needs to run one app.
+
+    ``main_flow`` is the scripted path from launch to the paper's "main
+    interaction" (Table 1): a list of ``(event_name, index)`` steps on
+    the current screen; the *last* step is the measured interaction.
+    ``transactions_of_main`` reproduces Table 2's rows: per-transaction
+    label plus the RTT (seconds) to the origin that serves it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        label: str,
+        category: str,
+        main_interaction: str,
+        build_apk: Callable[[], ApkFile],
+        origins: List[OriginSpec],
+        main_flow: List[Tuple[str, Optional[int]]],
+        transactions_of_main: List[Tuple[str, float]],
+        processing: Dict[str, float],
+        flags: Optional[Dict[str, bool]] = None,
+        main_site_classes: Optional[List[str]] = None,
+        launch_site_classes: Optional[List[str]] = None,
+    ) -> None:
+        self.name = name
+        self.label = label
+        self.category = category
+        self.main_interaction = main_interaction
+        self.build_apk = build_apk
+        self.origins = origins
+        self.main_flow = main_flow
+        self.transactions_of_main = transactions_of_main
+        self.processing = processing
+        self.flags = dict(flags or {})
+        #: classes whose transaction sites form the main interaction
+        #: (the paper configures the proxy to target it, §6)
+        self.main_site_classes = list(main_site_classes or [])
+        #: classes whose sites fire during app launch
+        self.launch_site_classes = list(launch_site_classes or [])
+
+    @property
+    def main_event(self) -> str:
+        """Name of the measured main-interaction event."""
+        return self.main_flow[-1][0]
+
+    # ------------------------------------------------------------------
+    def default_profile(self, user: str = "user-1") -> DeviceProfile:
+        return DeviceProfile(
+            user=user,
+            device_id="device-{}".format(user),
+            processing=dict(self.processing),
+            flags=dict(self.flags),
+        )
+
+    def build_origin_map(
+        self, sim: Simulator, catalog: Catalog, bandwidth_bps: float = 25e6,
+        rtt_override: Optional[float] = None,
+    ) -> Tuple[OriginMap, Dict[str, OriginServer]]:
+        """Build this app's origins wired with their per-origin links.
+
+        ``rtt_override`` replaces every origin RTT (used by the Fig. 15
+        / Fig. 16 proxy-to-server RTT sweeps).
+        """
+        origin_map = OriginMap()
+        servers: Dict[str, OriginServer] = {}
+        for spec in self.origins:
+            server = spec.build(sim, catalog)
+            rtt = spec.rtt if rtt_override is None else rtt_override
+            origin_map.register(
+                spec.origin, server, Link(rtt=rtt, bandwidth_bps=bandwidth_bps, name=spec.origin)
+            )
+            servers[spec.origin] = server
+        return origin_map, servers
+
+    def __repr__(self) -> str:
+        return "AppSpec({})".format(self.name)

@@ -1,0 +1,221 @@
+"""DoorDash — food delivery (the Fig. 11 successive-dependency chain).
+
+``store list → store menu → menu detail → suggestions``: each page's id
+feeds the next request, partially through URI *path segments*
+(``/v2/store/<id>/menu``), the case where the dependency lives inside
+the URI rather than in a body field.
+"""
+
+from __future__ import annotations
+
+from repro.apk.builder import AppBuilder, Lit, MethodBuilder
+from repro.apk.program import ApkFile
+from repro.apps.base import AppSpec, OriginSpec
+from repro.server.backends.doordash import build_doordash_api
+
+API = "https://api.doordash.com"
+
+
+def build_apk() -> ApkFile:
+    app = AppBuilder("com.dd.doordash", "DoorDash")
+    app.config_default("api_host", API)
+    app.config_default("region", "sf")
+    app.config_default("client", "android")
+
+    _store_list_activity(app)
+    _store_activity(app)
+    _menu_item_activity(app)
+    _offers_service(app)
+
+    app.component("stores", "StoreListActivity", screen="stores", main=True)
+    app.component("offers", "OffersService", kind="service")
+    app.component("store", "StoreActivity", screen="store")
+    app.component("menuitem", "MenuItemActivity", screen="menuitem")
+
+    app.screen("stores")
+    app.event(
+        "stores", "select_store", "StoreListActivity.onStoreClick",
+        takes_index=True, weight=5.0, description="open a restaurant page",
+    )
+    app.event("stores", "refresh", "StoreListActivity.onRefresh", weight=1.0)
+    app.screen("store")
+    app.event(
+        "store", "select_menu_item", "StoreActivity.onMenuItemClick",
+        takes_index=True, weight=4.0, description="open a menu item",
+    )
+    app.screen("menuitem")
+    app.event(
+        "menuitem", "select_suggestion", "MenuItemActivity.onSuggestionClick",
+        takes_index=True, weight=1.5, description="open a suggested item",
+    )
+    app.event(
+        "menuitem", "add_to_cart", "MenuItemActivity.onAddToCart",
+        weight=1.0, side_effect=True, description="add item to cart (side effect)",
+    )
+    return app.build()
+
+
+def _store_list_activity(app: AppBuilder) -> None:
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    m.call("StoreListActivity.loadStores", "this")
+    app.method("StoreListActivity", m)
+
+    m = MethodBuilder("onRefresh", params=["this"])
+    m.call("StoreListActivity.loadStores", "this")
+    app.method("StoreListActivity", m)
+
+    m = MethodBuilder("loadStores", params=["this"])
+    url = m.concat(
+        m.config("api_host"), m.const("/v2/stores?region="), m.config("region")
+    )
+    req = m.new_request("GET", url)
+    m.add_header(req, "User-Agent", m.user_agent())
+    m.add_header(req, "Cookie", m.cookie())
+    resp = m.execute(req)
+    body = m.body_json(resp)
+    stores = m.json_get(body, "stores")
+    m.put_field("this", "stores", stores)
+    with m.foreach(stores, parallel=True) as store:
+        sid = m.json_get(store, "id")
+        iurl = m.concat(m.config("api_host"), m.const("/store-img/"), sid, m.const(".jpg"))
+        ireq = m.new_request("GET", iurl)
+        iresp = m.execute(ireq)
+        m.body_blob(iresp)
+    m.render(body)
+    app.method("StoreListActivity", m)
+
+    m = MethodBuilder("onStoreClick", params=["this", "index"])
+    stores = m.get_field("this", "stores")
+    store = m.invoke("Json.index", stores, "index")
+    sid = m.json_get(store, "id")
+    intent = m.intent_new()
+    m.intent_put(intent, "store_id", sid)
+    m.start_component(intent, "store")
+    app.method("StoreListActivity", m)
+
+
+def _store_activity(app: AppBuilder) -> None:
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    sid = m.intent_get("intent", "store_id")
+    # menu: the store id is a URI *path segment*
+    murl = m.concat(
+        m.config("api_host"), m.const("/v2/store/"), sid, m.const("/menu")
+    )
+    mreq = m.new_request("GET", murl)
+    m.add_header(mreq, "Cookie", m.cookie())
+    mresp = m.execute(mreq)
+    menu = m.json_get(m.body_json(mresp), "menu")
+    # restaurant schedule (second transaction of the main interaction)
+    surl = m.concat(
+        m.config("api_host"), m.const("/v2/store/"), sid, m.const("/schedule")
+    )
+    sreq = m.new_request("GET", surl)
+    m.add_header(sreq, "Cookie", m.cookie())
+    sresp = m.execute(sreq)
+    m.body_json(sresp)
+    # flatten category items for the click handler
+    flat = m.invoke("List.new")
+    categories = m.json_get(menu, "categories")
+    with m.foreach(categories) as category:
+        items = m.json_get(category, "items")
+        with m.foreach(items) as item:
+            m.invoke("List.add", flat, item)
+    m.put_field("this", "menu_items", flat)
+    m.render(menu)
+    app.method("StoreActivity", m)
+
+    m = MethodBuilder("onMenuItemClick", params=["this", "index"])
+    items = m.get_field("this", "menu_items")
+    item = m.invoke("Json.index", items, "index")
+    iid = m.json_get(item, "id")
+    intent = m.intent_new()
+    m.intent_put(intent, "item_id", iid)
+    m.start_component(intent, "menuitem")
+    app.method("StoreActivity", m)
+
+
+def _menu_item_activity(app: AppBuilder) -> None:
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    iid = m.intent_get("intent", "item_id")
+    m.put_field("this", "item_id", iid)
+    durl = m.concat(m.config("api_host"), m.const("/v2/menu-item"))
+    dreq = m.new_request("POST", durl)
+    m.add_header(dreq, "Cookie", m.cookie())
+    m.add_form_field(dreq, "item_id", iid)
+    m.add_form_field(dreq, "client", m.config("client"))
+    dresp = m.execute(dreq)
+    item = m.json_get(m.body_json(dresp), "item")
+    # options for the item's option group (chain hop 4)
+    gid = m.json_get(item, "option_group")
+    ourl = m.concat(m.config("api_host"), m.const("/v2/options?gid="), gid)
+    oreq = m.new_request("GET", ourl)
+    m.add_header(oreq, "Cookie", m.cookie())
+    oresp = m.execute(oreq)
+    m.body_json(oresp)
+    # suggestions keyed by the item id from the detail response
+    item_id = m.json_get(item, "id")
+    u = m.concat(
+        m.config("api_host"), m.const("/v2/suggestions?menu_item_id="), item_id
+    )
+    sreq = m.new_request("GET", u)
+    m.add_header(sreq, "Cookie", m.cookie())
+    sresp = m.execute(sreq)
+    suggestions = m.json_get(m.body_json(sresp), "suggestions")
+    m.put_field("this", "suggestions", suggestions)
+    m.render(item)
+    app.method("MenuItemActivity", m)
+
+    m = MethodBuilder("onSuggestionClick", params=["this", "index"])
+    suggestions = m.get_field("this", "suggestions")
+    suggestion = m.invoke("Json.index", suggestions, "index")
+    sid = m.json_get(suggestion, "id")
+    intent = m.intent_new()
+    m.intent_put(intent, "item_id", sid)
+    m.start_component(intent, "menuitem")
+    app.method("MenuItemActivity", m)
+
+    m = MethodBuilder("onAddToCart", params=["this"])
+    iid = m.get_field("this", "item_id")
+    url = m.concat(m.config("api_host"), m.const("/v2/menu-item"))
+    req = m.new_request("POST", url)
+    m.add_header(req, "Cookie", m.cookie())
+    m.add_form_field(req, "item_id", iid)
+    m.add_form_field(req, "client", m.config("client"))
+    m.add_form_field(req, "cart", Lit("1"))
+    resp = m.execute(req)
+    m.render(m.body_json(resp))
+    app.method("MenuItemActivity", m)
+
+
+def _offers_service(app: AppBuilder) -> None:
+    # promotional offers pushed in the background (not UI-reachable)
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    url = m.concat(m.config("api_host"), m.const("/v2/offers"))
+    req = m.new_request("GET", url)
+    m.add_header(req, "Cookie", m.cookie())
+    resp = m.execute(req)
+    offers = m.json_get(m.body_json(resp), "offers")
+    with m.foreach(offers) as offer:
+        oid = m.json_get(offer, "id")
+        ourl = m.concat(m.config("api_host"), m.const("/v2/offer?oid="), oid)
+        oreq = m.new_request("GET", ourl)
+        m.add_header(oreq, "Cookie", m.cookie())
+        m.body_json(m.execute(oreq))
+    app.method("OffersService", m)
+
+
+SPEC = AppSpec(
+    name="doordash",
+    label="DoorDash",
+    category="Food delivery",
+    main_interaction="Loads a restaurant info.",
+    build_apk=build_apk,
+    origins=[
+        OriginSpec(API, rtt=0.145, build=build_doordash_api, label="Menu / schedule"),
+    ],
+    main_flow=[("select_store", 2)],
+    transactions_of_main=[("Menu", 0.145), ("Restaurant schedule", 0.145)],
+    processing={"launch": 3.2, "interaction": 0.6},
+    main_site_classes=["StoreActivity"],
+    launch_site_classes=["StoreListActivity"],
+)

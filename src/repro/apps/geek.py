@@ -1,0 +1,211 @@
+"""Geek — shopping app by the same operator as Wish.
+
+Same overall transaction structure as Wish (feed → item detail →
+related items, large ~315 KB product images) but the item-detail page
+combines the product fetch and the review fetch through an ``Rx.zip``
+chain, exercising the analyzer's multi-upstream Rx semantics.
+"""
+
+from __future__ import annotations
+
+from repro.apk.builder import AppBuilder, Lit, MethodBuilder
+from repro.apk.program import ApkFile
+from repro.apps.base import AppSpec, OriginSpec
+from repro.server.backends.geek import build_geek_api, build_geek_images
+
+API = "https://api.geek.com"
+IMG = "https://img.geek.com"
+
+
+def build_apk() -> ApkFile:
+    app = AppBuilder("com.contextlogic.geek", "Geek")
+    app.config_default("api_host", API)
+    app.config_default("img_host", IMG)
+    app.config_default("client", "android")
+    app.config_default("version", "2.7.1")
+    app.config_default("locale", "en-US")
+    app.config_default("vip_tier", "")
+
+    _feed_activity(app)
+    _detail_activity(app)
+    _push_service(app)
+
+    app.component("feed", "FeedActivity", screen="feed", main=True)
+    app.component("detail", "DetailActivity", screen="detail")
+    app.component("push", "PushService", kind="service")
+
+    app.screen("feed")
+    app.event(
+        "feed", "select_item", "FeedActivity.onItemClick",
+        takes_index=True, weight=5.0, description="open an item's detail page",
+    )
+    app.event("feed", "refresh", "FeedActivity.onRefresh", weight=1.0)
+    app.screen("detail")
+    app.event(
+        "detail", "select_related", "DetailActivity.onRelatedClick",
+        takes_index=True, weight=2.5, description="open a related item",
+    )
+    app.event(
+        "detail", "add_wishlist", "DetailActivity.onWishlistClick",
+        weight=0.5, side_effect=True, description="add to wishlist (side effect)",
+    )
+    return app.build()
+
+
+def _feed_activity(app: AppBuilder) -> None:
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    m.call("FeedActivity.loadFeed", "this")
+    app.method("FeedActivity", m)
+
+    m = MethodBuilder("onRefresh", params=["this"])
+    m.call("FeedActivity.loadFeed", "this")
+    app.method("FeedActivity", m)
+
+    m = MethodBuilder("loadFeed", params=["this"])
+    url = m.concat(m.config("api_host"), m.const("/api/feed"))
+    req = m.new_request("POST", url)
+    m.add_header(req, "User-Agent", m.user_agent())
+    m.add_header(req, "Cookie", m.cookie())
+    m.add_form_field(req, "_ver", m.config("version"))
+    m.add_form_field(req, "locale", m.config("locale"))
+    m.add_form_field(req, "currency", Lit("USD"))
+    resp = m.execute(req)
+    feed = m.body_json(resp)
+    items = m.json_path(feed, "feed", "items")
+    m.put_field("this", "items", items)
+    with m.foreach(items, parallel=True) as item:
+        pid = m.json_get(item, "id")
+        iurl = m.concat(m.config("img_host"), m.const("/t?pid="), pid)
+        ireq = m.new_request("GET", iurl)
+        iresp = m.execute(ireq)
+        m.body_blob(iresp)
+    m.render(feed)
+    app.method("FeedActivity", m)
+
+    m = MethodBuilder("onItemClick", params=["this", "index"])
+    items = m.get_field("this", "items")
+    item = m.invoke("Json.index", items, "index")
+    pid = m.json_get(item, "id")
+    intent = m.intent_new()
+    m.intent_put(intent, "pid", pid)
+    m.start_component(intent, "detail")
+    app.method("FeedActivity", m)
+
+
+def _detail_activity(app: AppBuilder) -> None:
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    pid = m.intent_get("intent", "pid")
+    m.put_field("this", "pid", pid)
+    # product detail and reviews fetched concurrently, joined by Rx.zip
+    product_obs = m.rx_defer("DetailActivity.fetchProduct")
+    review_obs = m.rx_defer("DetailActivity.fetchReviews")
+    joined = m.invoke(
+        "Rx.zip", product_obs, review_obs, Lit("DetailActivity.combine")
+    )
+    m.rx_subscribe(joined, "DetailActivity.renderDetail")
+    # related items
+    rurl = m.concat(m.config("api_host"), m.const("/api/related"))
+    rreq = m.new_request("POST", rurl)
+    m.add_header(rreq, "Cookie", m.cookie())
+    m.add_form_field(rreq, "pid", pid)
+    rresp = m.execute(rreq)
+    related = m.json_get(m.body_json(rresp), "related")
+    m.put_field("this", "related", related)
+    # full-size product image (~315 KB)
+    iurl = m.concat(m.config("img_host"), m.const("/p?pid="), pid)
+    ireq = m.new_request("GET", iurl)
+    iresp = m.execute(ireq)
+    m.body_blob(iresp)
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("fetchProduct", params=["this"])
+    pid = m.get_field("this", "pid")
+    url = m.concat(m.config("api_host"), m.const("/api/product"))
+    req = m.new_request("POST", url)
+    m.add_header(req, "User-Agent", m.user_agent())
+    m.add_header(req, "Cookie", m.cookie())
+    m.add_form_field(req, "pid", pid)
+    m.add_form_field(req, "_client", m.config("client"))
+    m.add_form_field(req, "_app", Lit("geek"))
+    vip = m.flag("vip")
+    with m.if_(vip):
+        m.add_form_field(req, "vip_tier", m.config("vip_tier"))
+    resp = m.execute(req)
+    product = m.json_get(m.body_json(resp), "product")
+    m.put_field("this", "detail", product)
+    m.ret(product)
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("fetchReviews", params=["this"])
+    pid = m.get_field("this", "pid")
+    url = m.concat(m.config("api_host"), m.const("/api/reviews?pid="), pid)
+    req = m.new_request("GET", url)
+    m.add_header(req, "Cookie", m.cookie())
+    resp = m.execute(req)
+    reviews = m.body_json(resp)
+    m.ret(reviews)
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("combine", params=["this", "product", "reviews"])
+    page = m.json_new()
+    m.json_put(page, "product", "product")
+    m.json_put(page, "reviews", "reviews")
+    m.ret(page)
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("renderDetail", params=["this", "page"])
+    m.render("page")
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("onRelatedClick", params=["this", "index"])
+    related = m.get_field("this", "related")
+    item = m.invoke("Json.index", related, "index")
+    rid = m.json_get(item, "id")
+    intent = m.intent_new()
+    m.intent_put(intent, "pid", rid)
+    m.start_component(intent, "detail")
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("onWishlistClick", params=["this"])
+    pid = m.get_field("this", "pid")
+    url = m.concat(m.config("api_host"), m.const("/api/wishlist/add"))
+    req = m.new_request("POST", url)
+    m.add_header(req, "Cookie", m.cookie())
+    m.add_form_field(req, "pid", pid)
+    resp = m.execute(req)
+    m.render(m.body_json(resp))
+    app.method("DetailActivity", m)
+
+
+def _push_service(app: AppBuilder) -> None:
+    # background push registration: never reachable from the UI
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    url = m.concat(m.config("api_host"), m.const("/api/push-config"))
+    req = m.new_request("GET", url)
+    m.add_header(req, "Cookie", m.cookie())
+    resp = m.execute(req)
+    channel = m.json_get(m.body_json(resp), "channel")
+    surl = m.concat(m.config("api_host"), m.const("/api/push/subscribe?ch="), channel)
+    sreq = m.new_request("GET", surl)
+    m.add_header(sreq, "Cookie", m.cookie())
+    m.body_json(m.execute(sreq))
+    app.method("PushService", m)
+
+
+SPEC = AppSpec(
+    name="geek",
+    label="Geek",
+    category="Shopping",
+    main_interaction="Loads an item detail",
+    build_apk=build_apk,
+    origins=[
+        OriginSpec(API, rtt=0.165, build=build_geek_api, label="Product detail"),
+        OriginSpec(IMG, rtt=0.006, build=build_geek_images, label="Product image"),
+    ],
+    main_flow=[("select_item", 5)],
+    transactions_of_main=[("Product detail", 0.165), ("Product image", 0.006)],
+    processing={"launch": 1.6, "interaction": 0.4},
+    flags={"vip": False},
+    main_site_classes=["DetailActivity"],
+    launch_site_classes=["FeedActivity"],
+)

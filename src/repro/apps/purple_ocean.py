@@ -1,0 +1,164 @@
+"""Purple Ocean — psychic reading.
+
+The advisor page (main interaction) issues three transactions (Table
+2): advisor info from the far-away API origin (230 ms RTT), then the
+profile image and the video still frame from a nearby media origin.
+Purple Ocean has the largest processing delay of the five apps
+(≈0.8 s), which is why its *relative* latency reduction looks small in
+Fig. 16 despite large absolute savings.
+"""
+
+from __future__ import annotations
+
+from repro.apk.builder import AppBuilder, Lit, MethodBuilder
+from repro.apk.program import ApkFile
+from repro.apps.base import AppSpec, OriginSpec
+from repro.server.backends.purpleocean import (
+    build_purpleocean_api,
+    build_purpleocean_media,
+)
+
+API = "https://api.purpleocean.com"
+MEDIA = "https://media.purpleocean.com"
+
+
+def build_apk() -> ApkFile:
+    app = AppBuilder("com.purpleocean.android", "Purple Ocean")
+    app.config_default("api_host", API)
+    app.config_default("media_host", MEDIA)
+    app.config_default("client", "android")
+
+    _list_activity(app)
+    _advisor_activity(app)
+    _horoscope_service(app)
+
+    app.component("advisors", "AdvisorListActivity", screen="advisors", main=True)
+    app.component("horoscope", "HoroscopeService", kind="service")
+    app.component("advisor", "AdvisorActivity", screen="advisor")
+
+    app.screen("advisors")
+    app.event(
+        "advisors", "select_advisor", "AdvisorListActivity.onAdvisorClick",
+        takes_index=True, weight=5.0, description="open an advisor page",
+    )
+    app.event("advisors", "refresh", "AdvisorListActivity.onRefresh", weight=1.0)
+    app.screen("advisor")
+    app.event(
+        "advisor", "start_reading", "AdvisorActivity.onStartReading",
+        weight=1.0, side_effect=True, description="start a paid reading (side effect)",
+    )
+    return app.build()
+
+
+def _list_activity(app: AppBuilder) -> None:
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    m.call("AdvisorListActivity.loadAdvisors", "this")
+    app.method("AdvisorListActivity", m)
+
+    m = MethodBuilder("onRefresh", params=["this"])
+    m.call("AdvisorListActivity.loadAdvisors", "this")
+    app.method("AdvisorListActivity", m)
+
+    m = MethodBuilder("loadAdvisors", params=["this"])
+    url = m.concat(m.config("api_host"), m.const("/api/advisors"))
+    req = m.new_request("GET", url)
+    m.add_header(req, "User-Agent", m.user_agent())
+    m.add_header(req, "Cookie", m.cookie())
+    resp = m.execute(req)
+    body = m.body_json(resp)
+    advisors = m.json_get(body, "advisors")
+    m.put_field("this", "advisors", advisors)
+    with m.foreach(advisors, parallel=True) as advisor:
+        aid = m.json_get(advisor, "id")
+        turl = m.concat(m.config("media_host"), m.const("/media/thumb?aid="), aid)
+        treq = m.new_request("GET", turl)
+        tresp = m.execute(treq)
+        m.body_blob(tresp)
+    m.render(body)
+    app.method("AdvisorListActivity", m)
+
+    m = MethodBuilder("onAdvisorClick", params=["this", "index"])
+    advisors = m.get_field("this", "advisors")
+    advisor = m.invoke("Json.index", advisors, "index")
+    aid = m.json_get(advisor, "id")
+    intent = m.intent_new()
+    m.intent_put(intent, "aid", aid)
+    m.start_component(intent, "advisor")
+    app.method("AdvisorListActivity", m)
+
+
+def _advisor_activity(app: AppBuilder) -> None:
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    aid = m.intent_get("intent", "aid")
+    m.put_field("this", "aid", aid)
+    # advisor info from the far-away API origin
+    url = m.concat(m.config("api_host"), m.const("/api/advisor?aid="), aid)
+    req = m.new_request("GET", url)
+    m.add_header(req, "User-Agent", m.user_agent())
+    m.add_header(req, "Cookie", m.cookie())
+    resp = m.execute(req)
+    advisor = m.json_get(m.body_json(resp), "advisor")
+    advisor_id = m.json_get(advisor, "id")
+    # profile image + video still from the nearby media origin
+    purl = m.concat(
+        m.config("media_host"), m.const("/media/profile/"), advisor_id, m.const(".png")
+    )
+    preq = m.new_request("GET", purl)
+    presp = m.execute(preq)
+    m.body_blob(presp)
+    vurl = m.concat(
+        m.config("media_host"), m.const("/media/still/"), advisor_id, m.const(".jpg")
+    )
+    vreq = m.new_request("GET", vurl)
+    vresp = m.execute(vreq)
+    m.body_blob(vresp)
+    m.render(advisor)
+    app.method("AdvisorActivity", m)
+
+    m = MethodBuilder("onStartReading", params=["this"])
+    aid = m.get_field("this", "aid")
+    url = m.concat(m.config("api_host"), m.const("/api/reading/start"))
+    req = m.new_request("POST", url)
+    m.add_header(req, "Cookie", m.cookie())
+    m.add_form_field(req, "aid", aid)
+    m.add_form_field(req, "client", m.config("client"))
+    resp = m.execute(req)
+    m.render(m.body_json(resp))
+    app.method("AdvisorActivity", m)
+
+
+def _horoscope_service(app: AppBuilder) -> None:
+    # daily horoscope push (not reachable through any screen)
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    url = m.concat(m.config("api_host"), m.const("/api/horoscope"))
+    req = m.new_request("GET", url)
+    m.add_header(req, "Cookie", m.cookie())
+    resp = m.execute(req)
+    sign = m.json_get(m.body_json(resp), "sign")
+    durl = m.concat(m.config("api_host"), m.const("/api/horoscope/detail?sign="), sign)
+    dreq = m.new_request("GET", durl)
+    m.add_header(dreq, "Cookie", m.cookie())
+    m.body_json(m.execute(dreq))
+    app.method("HoroscopeService", m)
+
+
+SPEC = AppSpec(
+    name="purple_ocean",
+    label="Purple Ocean",
+    category="Psychic reading",
+    main_interaction="Loads an advisor page",
+    build_apk=build_apk,
+    origins=[
+        OriginSpec(API, rtt=0.230, build=build_purpleocean_api, label="Advisor information"),
+        OriginSpec(MEDIA, rtt=0.015, build=build_purpleocean_media, label="Profile image"),
+    ],
+    main_flow=[("select_advisor", 4)],
+    transactions_of_main=[
+        ("Advisor information", 0.230),
+        ("Profile image", 0.015),
+        ("Video still image", 0.015),
+    ],
+    processing={"launch": 2.2, "interaction": 0.8},
+    main_site_classes=["AdvisorActivity"],
+    launch_site_classes=["AdvisorListActivity"],
+)

@@ -1,0 +1,33 @@
+"""Registry of the five evaluated apps (Table 1)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.base import AppSpec
+
+
+def all_apps() -> Dict[str, AppSpec]:
+    """Name → spec for every evaluated app, in the paper's order."""
+    from repro.apps.wish import SPEC as wish
+    from repro.apps.geek import SPEC as geek
+    from repro.apps.doordash import SPEC as doordash
+    from repro.apps.purple_ocean import SPEC as purple_ocean
+    from repro.apps.postmates import SPEC as postmates
+
+    specs = [wish, geek, doordash, purple_ocean, postmates]
+    return {spec.name: spec for spec in specs}
+
+
+def app_names() -> List[str]:
+    return list(all_apps())
+
+
+def get_app(name: str) -> AppSpec:
+    apps = all_apps()
+    try:
+        return apps[name]
+    except KeyError:
+        raise KeyError(
+            "unknown app {!r}; available: {}".format(name, ", ".join(apps))
+        )

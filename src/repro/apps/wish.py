@@ -1,0 +1,310 @@
+"""Wish — #1 shopping app, the paper's working example (§2, Figs. 1–3, 5, 8, 12).
+
+Transaction structure:
+
+* **Launch** (Fig. 1a): ``POST /api/get-feed`` (body fields vary with a
+  run-time branch, Fig. 8's shape) → 30 items → parallel thumbnail
+  ``GET /img?cid=<id>`` fetches.
+* **Select item** (Fig. 1b, the main interaction): Intent carries the
+  item id to ``DetailActivity``; ``POST /product/get`` (built through
+  an Rx chain and an aliased heap object — the analyzer extensions),
+  ``POST /related/get``, and the ~315 KB product image.
+* **Merchant page** (Fig. 2 / Fig. 12 fan-out): detail's
+  ``merchant_name`` → ``GET /api/merchant?q=…`` → merchant id →
+  ratings + profile image + the merchant's item thumbnails.
+* **Buy** is a side-effecting transaction that must never be prefetched.
+"""
+
+from __future__ import annotations
+
+from repro.apk.builder import AppBuilder, Lit, MethodBuilder
+from repro.apk.program import ApkFile
+from repro.apps.base import AppSpec, OriginSpec
+from repro.server.backends.wish import build_wish_api, build_wish_images
+
+API = "https://api.wish.com"
+IMG = "https://img.wish.com"
+
+
+def build_apk() -> ApkFile:
+    app = AppBuilder("com.wish.android", "Wish")
+    app.config_default("api_host", API)
+    app.config_default("img_host", IMG)
+    app.config_default("client", "android")
+    app.config_default("version", "4.13.0")
+    app.config_default("credit_id", "")
+
+    _feed_activity(app)
+    _detail_activity(app)
+    _merchant_activity(app)
+    _notification_service(app)
+
+    app.component("feed", "FeedActivity", screen="feed", main=True)
+    app.component("detail", "DetailActivity", screen="detail")
+    app.component("merchant", "MerchantActivity", screen="merchant")
+    app.component("notifications", "NotificationService", kind="service")
+
+    app.screen("feed")
+    app.event(
+        "feed", "select_item", "FeedActivity.onItemClick",
+        takes_index=True, weight=5.0, description="open an item's detail page",
+    )
+    app.event(
+        "feed", "refresh", "FeedActivity.onRefresh",
+        weight=1.0, description="reload the recommendation feed",
+    )
+    app.screen("detail")
+    app.event(
+        "detail", "view_merchant", "DetailActivity.onMerchantClick",
+        weight=2.0, description="open the merchant page",
+    )
+    app.event(
+        "detail", "select_related", "DetailActivity.onRelatedClick",
+        takes_index=True, weight=2.0, description="open a related item",
+    )
+    app.event(
+        "detail", "buy", "DetailActivity.onBuyClick",
+        weight=0.5, side_effect=True, description="1-click purchase (side effect)",
+    )
+    app.screen("merchant")
+    app.event(
+        "merchant", "select_merchant_item", "MerchantActivity.onItemClick",
+        takes_index=True, weight=1.5, description="open one of the merchant's items",
+    )
+    return app.build()
+
+
+# ----------------------------------------------------------------------
+def _feed_activity(app: AppBuilder) -> None:
+    # onStart delegates to loadFeed so "refresh" re-uses the same
+    # transaction sites (one signature, observed repeatedly)
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    m.call("FeedActivity.loadFeed", "this")
+    app.method("FeedActivity", m)
+
+    m = MethodBuilder("onRefresh", params=["this"])
+    m.call("FeedActivity.loadFeed", "this")
+    app.method("FeedActivity", m)
+
+    m = MethodBuilder("loadFeed", params=["this"])
+    url = m.concat(m.config("api_host"), m.const("/api/get-feed"))
+    req = m.new_request("POST", url)
+    m.add_header(req, "User-Agent", m.user_agent())
+    m.add_header(req, "Cookie", m.cookie())
+    m.add_form_field(req, "_ver", m.config("version"))
+    m.add_form_field(req, "build", Lit("amazon"))
+    m.add_form_field(req, "Category", Lit("true"))
+    m.add_form_field(req, "_cap[]", Lit("2"))
+    m.add_form_field(req, "_cap[]", Lit("4"))
+    m.add_form_field(req, "_cap[]", Lit("6"))
+    full = m.flag("full_feed")
+    with m.if_(full):
+        m.add_form_field(req, "offset", Lit("0"))
+        m.add_form_field(req, "count", Lit("30"))
+    with m.else_():
+        m.add_form_field(req, "offset", Lit("-1"))
+        m.add_form_field(req, "count", Lit("1"))
+    resp = m.execute(req)
+    feed = m.body_json(resp)
+    products = m.json_path(feed, "data", "products")
+    m.put_field("this", "items", products)
+    with m.foreach(products, parallel=True) as item:
+        info = m.json_get(item, "product_info")
+        iid = m.json_get(info, "id")
+        iurl = m.concat(m.config("img_host"), m.const("/img?cid="), iid)
+        ireq = m.new_request("GET", iurl)
+        iresp = m.execute(ireq)
+        m.body_blob(iresp)
+    m.render(feed)
+    app.method("FeedActivity", m)
+
+    m = MethodBuilder("onItemClick", params=["this", "index"])
+    items = m.get_field("this", "items")
+    item = m.invoke("Json.index", items, "index")
+    info = m.json_get(item, "product_info")
+    iid = m.json_get(info, "id")
+    intent = m.intent_new()
+    m.intent_put(intent, "cid", iid)
+    m.start_component(intent, "detail")
+    app.method("FeedActivity", m)
+
+
+def _detail_activity(app: AppBuilder) -> None:
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    cid = m.intent_get("intent", "cid")
+    m.put_field("this", "cid", cid)
+    # product detail: Rx chain (defer → map → subscribe), §4.1 ext. 2
+    obs = m.rx_defer("DetailActivity.fetchDetail")
+    stored = m.rx_map(obs, "DetailActivity.storeDetail")
+    m.rx_subscribe(stored, "DetailActivity.renderDetail")
+    # related items (Fig. 1b transaction ③)
+    rurl = m.concat(m.config("api_host"), m.const("/related/get"))
+    rreq = m.new_request("POST", rurl)
+    m.add_header(rreq, "Cookie", m.cookie())
+    m.add_form_field(rreq, "cid", cid)
+    rresp = m.execute(rreq)
+    related = m.json_get(m.body_json(rresp), "related")
+    m.put_field("this", "related", related)
+    # full-size product image (~315 KB)
+    iurl = m.concat(m.config("img_host"), m.const("/product-img?cid="), cid)
+    ireq = m.new_request("GET", iurl)
+    iresp = m.execute(ireq)
+    m.body_blob(iresp)
+    app.method("DetailActivity", m)
+
+    # fetchDetail routes `cid` through an aliased heap object — the
+    # complex-heap case the paper's alias-analysis extension targets
+    m = MethodBuilder("fetchDetail", params=["this"])
+    holder = m.new("RequestContext")
+    cid = m.get_field("this", "cid")
+    m.put_field(holder, "cid", cid)
+    alias = m.move(holder)
+    resp = m.call("DetailActivity.postDetail", "this", alias)
+    body = m.body_json(resp)
+    m.ret(body)
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("postDetail", params=["this", "ctx"])
+    cid = m.get_field("ctx", "cid")  # reads through the alias
+    url = m.concat(m.config("api_host"), m.const("/product/get"))
+    req = m.new_request("POST", url)
+    m.add_header(req, "User-Agent", m.user_agent())
+    m.add_header(req, "Cookie", m.cookie())
+    m.add_form_field(req, "cid", cid)
+    m.add_form_field(req, "_client", m.config("client"))
+    m.add_form_field(req, "_ver", m.config("version"))
+    m.add_form_field(req, "_build", Lit("amazon"))
+    m.add_form_field(req, "_xsrf", Lit("1"))
+    m.add_form_field(req, "_cap[]", Lit("2"))
+    m.add_form_field(req, "_cap[]", Lit("4"))
+    has_credit = m.flag("has_credit")
+    with m.if_(has_credit):
+        m.add_form_field(req, "credit_id", m.config("credit_id"))
+    resp = m.execute(req)
+    m.ret(resp)
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("storeDetail", params=["this", "body"])
+    contest = m.json_path(body_reg(m, "body"), "data", "contest")
+    m.put_field("this", "detail", contest)
+    m.ret(contest)
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("renderDetail", params=["this", "detail"])
+    m.render("detail")
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("onMerchantClick", params=["this"])
+    detail = m.get_field("this", "detail")
+    name = m.json_get(detail, "merchant_name")
+    intent = m.intent_new()
+    m.intent_put(intent, "m", name)
+    m.start_component(intent, "merchant")
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("onRelatedClick", params=["this", "index"])
+    related = m.get_field("this", "related")
+    item = m.invoke("Json.index", related, "index")
+    rid = m.json_get(item, "id")
+    intent = m.intent_new()
+    m.intent_put(intent, "cid", rid)
+    m.start_component(intent, "detail")
+    app.method("DetailActivity", m)
+
+    m = MethodBuilder("onBuyClick", params=["this"])
+    cid = m.get_field("this", "cid")
+    url = m.concat(m.config("api_host"), m.const("/cart/add"))
+    req = m.new_request("POST", url)
+    m.add_header(req, "Cookie", m.cookie())
+    m.add_form_field(req, "cid", cid)
+    m.add_form_field(req, "qty", Lit("1"))
+    resp = m.execute(req)
+    m.render(m.body_json(resp))
+    app.method("DetailActivity", m)
+
+
+def _merchant_activity(app: AppBuilder) -> None:
+    # Fig. 3c: merchant info → (ratings, profile image, item thumbnails)
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    name = m.intent_get("intent", "m")
+    murl = m.concat(m.config("api_host"), m.const("/api/merchant?q="), name)
+    mreq = m.new_request("GET", murl)
+    m.add_header(mreq, "Cookie", m.cookie())
+    mresp = m.execute(mreq)
+    merchant = m.json_get(m.body_json(mresp), "merchant")
+    mid = m.json_get(merchant, "id")
+    # ratings
+    rurl = m.concat(m.config("api_host"), m.const("/api/ratings/get?id="), mid)
+    rreq = m.new_request("GET", rurl)
+    m.add_header(rreq, "Cookie", m.cookie())
+    rresp = m.execute(rreq)
+    m.body_json(rresp)
+    # profile image (path built from the merchant id)
+    purl = m.concat(m.config("img_host"), m.const("/merchant-img/"), mid, m.const(".png"))
+    preq = m.new_request("GET", purl)
+    presp = m.execute(preq)
+    m.body_blob(presp)
+    # the merchant's other items
+    item_ids = m.json_get(merchant, "item_ids")
+    m.put_field("this", "merchant_items", item_ids)
+    with m.foreach(item_ids, parallel=True) as iid:
+        iurl = m.concat(m.config("img_host"), m.const("/img?cid="), iid)
+        ireq = m.new_request("GET", iurl)
+        iresp = m.execute(ireq)
+        m.body_blob(iresp)
+    m.render(merchant)
+    app.method("MerchantActivity", m)
+
+    m = MethodBuilder("onItemClick", params=["this", "index"])
+    items = m.get_field("this", "merchant_items")
+    iid = m.invoke("Json.index", items, "index")
+    intent = m.intent_new()
+    m.intent_put(intent, "cid", iid)
+    m.start_component(intent, "detail")
+    app.method("MerchantActivity", m)
+
+
+def _notification_service(app: AppBuilder) -> None:
+    # push-notification traffic: no UI event ever triggers it, so UI
+    # fuzzing and user traces never observe these signatures (§6.1)
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    url = m.concat(m.config("api_host"), m.const("/api/notifications"))
+    req = m.new_request("GET", url)
+    m.add_header(req, "Cookie", m.cookie())
+    resp = m.execute(req)
+    notes = m.json_get(m.body_json(resp), "notes")
+    with m.foreach(notes) as note:
+        pid = m.json_get(note, "promo_id")
+        purl = m.concat(m.config("api_host"), m.const("/api/promo?pid="), pid)
+        preq = m.new_request("GET", purl)
+        m.add_header(preq, "Cookie", m.cookie())
+        presp = m.execute(preq)
+        m.body_json(presp)
+        iurl = m.concat(m.config("img_host"), m.const("/promo-img?pid="), pid)
+        ireq = m.new_request("GET", iurl)
+        m.body_blob(m.execute(ireq))
+    app.method("NotificationService", m)
+
+
+def body_reg(m: MethodBuilder, name: str) -> str:
+    """The parameter register named ``name`` (readability helper)."""
+    return name
+
+
+SPEC = AppSpec(
+    name="wish",
+    label="Wish",
+    category="Shopping",
+    main_interaction="Loads an item detail",
+    build_apk=build_apk,
+    origins=[
+        OriginSpec(API, rtt=0.165, build=build_wish_api, label="Product detail"),
+        OriginSpec(IMG, rtt=0.016, build=build_wish_images, label="Product image"),
+    ],
+    main_flow=[("select_item", 3)],
+    transactions_of_main=[("Product detail", 0.165), ("Product image", 0.016)],
+    processing={"launch": 2.0, "interaction": 0.4},
+    flags={"full_feed": True, "has_credit": False},
+    main_site_classes=["DetailActivity"],
+    launch_site_classes=["FeedActivity"],
+)

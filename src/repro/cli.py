@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands::
+
+    apps                      list the bundled app models
+    analyze APP [--sig-file]  run static analysis (phase 1)
+    verify APP                run testing & verification (phase 2)
+    demo APP                  accelerate one session, print the speedup
+    experiment NAME           run one table/figure experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import analyze_apk
+from repro.analysis.serialize import dumps as dump_signatures
+from repro.apps import all_apps, get_app
+
+
+def _command_apps(args) -> int:
+    print("{:<14} {:<16} {}".format("name", "category", "main interaction"))
+    for name, spec in all_apps().items():
+        print("{:<14} {:<16} {}".format(name, spec.category, spec.main_interaction))
+    return 0
+
+
+def _command_analyze(args) -> int:
+    spec = get_app(args.app)
+    apk = spec.build_apk()
+    result = analyze_apk(apk)
+    if args.report:
+        from repro.analysis.report import render_report
+
+        print(render_report(result))
+        return 0
+    if args.sig_file:
+        with open(args.sig_file, "w") as handle:
+            handle.write(dump_signatures(result))
+        print("wrote {} signatures to {}".format(len(result.signatures), args.sig_file))
+        return 0
+    summary = result.summary()
+    print("{} — {} IR instructions".format(spec.label, apk.instruction_count()))
+    print(
+        "signatures: {signatures}  prefetchable: {prefetchable}  "
+        "dependencies: {dependencies}  max chain: {max_chain}".format(**summary)
+    )
+    for signature in result.signatures:
+        marker = "*" if signature.is_successor() else " "
+        flags = " [side-effect]" if signature.side_effect else ""
+        print(
+            " {} {:<40} {} {}{}".format(
+                marker,
+                signature.site,
+                signature.request.method,
+                signature.request.uri.regex(),
+                flags,
+            )
+        )
+    print("dependencies:")
+    for edge in result.dependencies:
+        print(
+            "   {}:{}".format(edge.pred_site, edge.pred_path.to_string())
+        )
+        print("     -> {}:{}".format(edge.succ_site, edge.succ_path.to_string()))
+    return 0
+
+
+def _command_verify(args) -> int:
+    from repro.proxy.verification import run_verification
+    from repro.server.content import Catalog
+
+    spec = get_app(args.app)
+    apk = spec.build_apk()
+    result = analyze_apk(apk)
+    config, report = run_verification(
+        apk,
+        result,
+        build_origin_map=lambda sim: spec.build_origin_map(sim, Catalog())[0],
+        profile=spec.default_profile("verify-user"),
+        fuzz_duration=args.duration,
+    )
+    print("fuzz interactions: {}".format(report.fuzz_interactions))
+    print("prefetch successes: {}".format(sum(report.prefetch_successes.values())))
+    if report.disabled:
+        print("disabled signatures:")
+        for site, reason in report.disabled.items():
+            print("  {} ({})".format(site, reason))
+    print("expiration estimates:")
+    for site, expiry in sorted(report.expiry_estimates.items()):
+        print("  {:<42} {:>8.0f} s".format(site, expiry))
+    if args.config_file:
+        with open(args.config_file, "w") as handle:
+            handle.write(config.to_json())
+        print("wrote configuration to {}".format(args.config_file))
+    return 0
+
+
+def _command_demo(args) -> int:
+    from repro.device.runtime import AppRuntime
+    from repro.netsim.link import Link
+    from repro.netsim.sim import Delay, Simulator
+    from repro.netsim.transport import DirectTransport
+    from repro.proxy import AccelerationProxy, ProxiedTransport
+    from repro.server.content import Catalog
+
+    spec = get_app(args.app)
+    apk = spec.build_apk()
+    analysis = analyze_apk(apk)
+
+    def session(proxied):
+        sim = Simulator()
+        origins, _ = spec.build_origin_map(sim, Catalog())
+        access = Link(rtt=0.055, shared=True)
+        proxy = None
+        if proxied:
+            proxy = AccelerationProxy(sim, origins, analysis)
+            transport = ProxiedTransport(sim, access, proxy)
+        else:
+            transport = DirectTransport(sim, access, origins)
+        runtime = AppRuntime(apk, transport, sim, spec.default_profile())
+
+        def flow():
+            yield sim.spawn(runtime.launch())
+            yield Delay(6.0)
+            result = yield sim.spawn(runtime.dispatch(*spec.main_flow[-1]))
+            return result
+
+        return sim.run_process(flow()), proxy
+
+    original, _ = session(False)
+    accelerated, proxy = session(True)
+    print("{}: {}".format(spec.label, spec.main_interaction))
+    print("  without proxy: {:.0f} ms".format(1000 * original.latency))
+    print(
+        "  with APPx:     {:.0f} ms  ({:.0f}% lower, {} served from cache)".format(
+            1000 * accelerated.latency,
+            100 * (1 - accelerated.latency / original.latency),
+            proxy.served_prefetched,
+        )
+    )
+    return 0
+
+
+_EXPERIMENTS = {
+    "table1": ("table1_rows", {}),
+    "table2": ("table2_rows", {}),
+    "table3": ("table3_rows", {"fuzz_duration": 300.0, "trace_participants": 6}),
+    "fig11": ("fig11_doordash_chain", {}),
+    "fig12": ("fig12_wish_fanout", {}),
+    "fig13": ("fig13_main_interaction", {"runs": 5}),
+    "fig14": ("fig14_app_launch", {"runs": 5}),
+    "fig15": ("fig15_percentile_sweep", {"participants": 6}),
+    "fig16": ("fig16_cdf_and_usage", {"participants": 6}),
+    "fig17": ("fig17_probability_tradeoff", {"participants": 6}),
+    "ablation": ("ablation_analysis_rows", {}),
+}
+
+
+def _command_experiment(args) -> int:
+    from repro.experiments import runner
+
+    if args.name not in _EXPERIMENTS:
+        print(
+            "unknown experiment {!r}; choose from {}".format(
+                args.name, ", ".join(sorted(_EXPERIMENTS))
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    function_name, kwargs = _EXPERIMENTS[args.name]
+    rows = getattr(runner, function_name)(**kwargs)
+    if isinstance(rows, dict):
+        for key, value in rows.items():
+            print("{}: {}".format(key, value))
+    elif isinstance(rows, list) and rows and isinstance(rows[0], dict):
+        for row in rows:
+            printable = {
+                k: v for k, v in row.items() if not k.endswith("_cdf")
+            }
+            print(printable)
+    else:
+        print(rows)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="APPx app-acceleration framework (CoNEXT 2018)"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("apps", help="list the bundled app models")
+
+    analyze = commands.add_parser("analyze", help="static analysis (phase 1)")
+    analyze.add_argument("app")
+    analyze.add_argument("--sig-file", help="write the signature file here")
+    analyze.add_argument(
+        "--report", action="store_true",
+        help="print the full Fig. 5-style signature report",
+    )
+
+    verify = commands.add_parser("verify", help="testing & verification (phase 2)")
+    verify.add_argument("app")
+    verify.add_argument("--duration", type=float, default=60.0)
+    verify.add_argument("--config-file", help="write the generated config here")
+
+    demo = commands.add_parser("demo", help="one accelerated session")
+    demo.add_argument("app")
+
+    experiment = commands.add_parser("experiment", help="run one table/figure")
+    experiment.add_argument("name", help="table1..table3, fig11..fig17")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "apps": _command_apps,
+        "analyze": _command_analyze,
+        "verify": _command_verify,
+        "demo": _command_demo,
+        "experiment": _command_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

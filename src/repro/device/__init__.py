@@ -1,0 +1,31 @@
+"""Client-device runtime.
+
+Interprets the same app IR the static analyzer consumes, but
+*concretely*: real values, real branch decisions, real HTTP messages
+sent through the network simulator.  Replaces the paper's Nexus 6 +
+Frida measurement setup.
+
+* :mod:`repro.device.profile` — device/user state the app reads at run
+  time (user agent, cookies, config, feature flags).
+* :mod:`repro.device.runtime` — the interpreter and interaction
+  measurement (user-perceived latency from input to rendered output).
+* :mod:`repro.device.fuzzing` — Monkey-style random UI event streams.
+* :mod:`repro.device.traces` — synthetic user-study traces (30
+  participants × 3 minutes) and their replay.
+"""
+
+from repro.device.profile import DeviceProfile
+from repro.device.runtime import AppRuntime, InteractionResult
+from repro.device.fuzzing import MonkeyFuzzer
+from repro.device.traces import TraceEvent, UserTrace, generate_user_study, replay_trace
+
+__all__ = [
+    "DeviceProfile",
+    "AppRuntime",
+    "InteractionResult",
+    "MonkeyFuzzer",
+    "TraceEvent",
+    "UserTrace",
+    "generate_user_study",
+    "replay_trace",
+]

@@ -1,0 +1,77 @@
+"""Monkey-style UI fuzzing (the paper's §4.3 and Table 3 baseline).
+
+Generates an arbitrary stream of user events at a fixed interval
+(500 ms in the paper) and drives an :class:`AppRuntime` with them.
+The network trace it produces is the "Auto UI fuzzing" column of
+Table 3 and the workload of the verification phase.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, List, Optional
+
+from repro.apk.ir import Const, Invoke
+from repro.apk.program import ApkFile, EventSpec
+from repro.device.runtime import AppRuntime, InteractionResult
+from repro.netsim.sim import Delay
+
+
+def destination_screen(apk: ApkFile, event: EventSpec) -> Optional[str]:
+    """The screen an event's handler navigates to (via Component.start)."""
+    method = apk.resolve(event.handler)
+    consts = {}
+    for instruction in method.body.walk():
+        if isinstance(instruction, Const):
+            consts[instruction.dst] = instruction.value
+        if isinstance(instruction, Invoke) and instruction.api == "Component.start":
+            target = consts.get(instruction.args[1])
+            if isinstance(target, str) and target in apk.components:
+                return apk.components[target].screen
+    return None
+
+
+class MonkeyFuzzer:
+    """Random event streams against a running app."""
+
+    def __init__(
+        self,
+        runtime: AppRuntime,
+        seed: int = 0,
+        interval: float = 0.5,
+        max_index: int = 29,
+        allow_side_effects: bool = True,
+    ) -> None:
+        self.runtime = runtime
+        self.rng = random.Random(seed)
+        self.interval = interval
+        self.max_index = max_index
+        self.allow_side_effects = allow_side_effects
+        self.results: List[InteractionResult] = []
+
+    def run(self, duration: float) -> Generator:
+        """Simulator process: launch, then fuzz for ``duration`` seconds."""
+        started_at = self.runtime.sim.now
+        launch = yield self.runtime.sim.spawn(self.runtime.launch())
+        self.results.append(launch)
+        while self.runtime.sim.now - started_at < duration:
+            event_name = self._pick_event()
+            if event_name is None:
+                yield Delay(self.interval)
+                continue
+            index = self.rng.randrange(self.max_index + 1)
+            result = yield self.runtime.sim.spawn(
+                self.runtime.dispatch(event_name, index)
+            )
+            self.results.append(result)
+            yield Delay(self.interval)
+        return self.results
+
+    def _pick_event(self) -> Optional[str]:
+        names = self.runtime.available_events()
+        if not self.allow_side_effects:
+            screen = self.runtime.apk.screen(self.runtime.current_screen)
+            names = [n for n in names if not screen.event(n).side_effect]
+        if not names:
+            return None
+        return self.rng.choice(sorted(names))

@@ -1,0 +1,64 @@
+"""Device profile: the run-time environment an app executes against.
+
+Everything ``Env.*`` APIs return comes from here — the values static
+analysis cannot know and the proxy must learn dynamically (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class DeviceProfile:
+    """Per-device, per-user run-time values.
+
+    ``config`` overrides the app's :attr:`ApkFile.config_defaults`
+    (API hosts, client version, build flavor).  ``flags`` drive
+    run-time branch conditions (e.g. whether the user has a stored
+    credit id — Fig. 8).  ``processing`` holds client-side processing
+    delays in seconds: keys ``launch`` and ``interaction`` (the paper's
+    Figures 13/14 split user-perceived latency into network +
+    processing).
+    """
+
+    def __init__(
+        self,
+        user: str = "user-1",
+        user_agent: str = "Mozilla/5.0 (Linux; Android 7.1; Nexus 6)",
+        device_id: str = "device-0001",
+        config: Optional[Dict[str, str]] = None,
+        flags: Optional[Dict[str, bool]] = None,
+        processing: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.user = user
+        self.user_agent = user_agent
+        self.device_id = device_id
+        self.config: Dict[str, str] = dict(config or {})
+        self.flags: Dict[str, bool] = dict(flags or {})
+        self.processing: Dict[str, float] = dict(processing or {})
+
+    def config_value(self, key: str, defaults: Dict[str, str]) -> str:
+        if key in self.config:
+            return self.config[key]
+        if key in defaults:
+            return defaults[key]
+        return ""
+
+    def flag(self, key: str) -> bool:
+        return self.flags.get(key, False)
+
+    def processing_delay(self, kind: str) -> float:
+        return self.processing.get(kind, 0.0)
+
+    def copy_for_user(self, user: str, device_id: Optional[str] = None) -> "DeviceProfile":
+        return DeviceProfile(
+            user=user,
+            user_agent=self.user_agent,
+            device_id=device_id or "device-{}".format(user),
+            config=dict(self.config),
+            flags=dict(self.flags),
+            processing=dict(self.processing),
+        )
+
+    def __repr__(self) -> str:
+        return "DeviceProfile(user={!r})".format(self.user)

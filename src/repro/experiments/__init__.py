@@ -1,0 +1,6 @@
+"""Evaluation harness: one runner per table/figure of the paper (§6)."""
+
+from repro.experiments.scenario import PreparedApp, Scenario, prepare_app, scoped_config
+from repro.experiments import runner
+
+__all__ = ["PreparedApp", "Scenario", "prepare_app", "scoped_config", "runner"]

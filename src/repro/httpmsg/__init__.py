@@ -1,0 +1,40 @@
+"""HTTP message substrate.
+
+Everything in the framework — app runtime, origin servers, and the
+acceleration proxy — exchanges :class:`Request`/:class:`Response`
+objects built from the primitives in this package.  The proxy's dynamic
+learning addresses parts of a message through :class:`FieldPath`
+values such as ``body.data.products[].product_info.id``.
+"""
+
+from repro.httpmsg.headers import Headers
+from repro.httpmsg.uri import Uri
+from repro.httpmsg.body import Body, FormBody, JsonBody, BlobBody, TextBody, EmptyBody
+from repro.httpmsg.message import Request, Response, Transaction
+from repro.httpmsg.fieldpath import FieldPath, PathPart
+from repro.httpmsg.cookies import (
+    CookieJar,
+    format_cookie_header,
+    parse_cookie_header,
+    parse_set_cookie,
+)
+
+__all__ = [
+    "Headers",
+    "Uri",
+    "Body",
+    "FormBody",
+    "JsonBody",
+    "BlobBody",
+    "TextBody",
+    "EmptyBody",
+    "Request",
+    "Response",
+    "Transaction",
+    "FieldPath",
+    "PathPart",
+    "CookieJar",
+    "parse_cookie_header",
+    "format_cookie_header",
+    "parse_set_cookie",
+]

@@ -1,0 +1,64 @@
+"""Cookie parsing/formatting.
+
+The proxy tracks per-user context (§2: "the proxy keeps track of user
+contexts (e.g., cookie)"), and the device runtime maintains a cookie
+jar that origin servers populate via ``Set-Cookie``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+
+def parse_cookie_header(value: str) -> List[Tuple[str, str]]:
+    """Parse a ``Cookie:`` header into ordered (name, value) pairs."""
+    pairs: List[Tuple[str, str]] = []
+    for chunk in value.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name, _, cookie_value = chunk.partition("=")
+        pairs.append((name.strip(), cookie_value.strip()))
+    return pairs
+
+
+def format_cookie_header(pairs: List[Tuple[str, str]]) -> str:
+    return "; ".join("{}={}".format(name, value) for name, value in pairs)
+
+
+def parse_set_cookie(value: str) -> Tuple[str, str, Dict[str, str]]:
+    """Parse a ``Set-Cookie:`` header into (name, value, attributes)."""
+    chunks = [c.strip() for c in value.split(";") if c.strip()]
+    if not chunks:
+        raise ValueError("empty Set-Cookie header")
+    name, _, cookie_value = chunks[0].partition("=")
+    attributes: Dict[str, str] = {}
+    for chunk in chunks[1:]:
+        attr_name, _, attr_value = chunk.partition("=")
+        attributes[attr_name.strip().lower()] = attr_value.strip()
+    return name.strip(), cookie_value.strip(), attributes
+
+
+class CookieJar:
+    """Per-origin cookie storage used by the device runtime."""
+
+    def __init__(self) -> None:
+        self._jar: Dict[str, Dict[str, str]] = {}
+
+    def store_from_response(self, origin: str, response) -> None:
+        for header_value in response.headers.get_all("Set-Cookie"):
+            name, value, _ = parse_set_cookie(header_value)
+            self._jar.setdefault(origin, {})[name] = value
+
+    def cookie_header(self, origin: str) -> str:
+        cookies = self._jar.get(origin, {})
+        return format_cookie_header(sorted(cookies.items()))
+
+    def get(self, origin: str, name: str, default: str = "") -> str:
+        return self._jar.get(origin, {}).get(name, default)
+
+    def set(self, origin: str, name: str, value: str) -> None:
+        self._jar.setdefault(origin, {})[name] = value
+
+    def clear(self) -> None:
+        self._jar.clear()

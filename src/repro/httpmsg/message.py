@@ -1,0 +1,154 @@
+"""HTTP request/response/transaction objects."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.httpmsg.body import Body, EmptyBody
+from repro.httpmsg.headers import Headers
+from repro.httpmsg.uri import Uri
+
+_REQUEST_LINE_OVERHEAD = 12  # method + spaces + "HTTP/1.1\r\n" padding
+_STATUS_LINE_OVERHEAD = 17  # "HTTP/1.1 200 OK\r\n"
+
+
+class Request:
+    """An HTTP request.
+
+    Equality covers method, URI (canonical string), headers, and body —
+    exactly the check the proxy performs before serving a prefetched
+    response in place of the origin server (§4.5: "the proxy sends the
+    response only when the prefetch request is identical to the
+    client's request").
+    """
+
+    def __init__(
+        self,
+        method: str = "GET",
+        uri: Optional[Uri] = None,
+        headers: Optional[Headers] = None,
+        body: Optional[Body] = None,
+    ) -> None:
+        self.method = method
+        self.uri = uri if uri is not None else Uri()
+        self.headers = headers if headers is not None else Headers()
+        self.body = body if body is not None else EmptyBody()
+
+    def copy(self) -> "Request":
+        return Request(
+            self.method, self.uri.copy(), self.headers.copy(), self.body.copy()
+        )
+
+    def wire_size(self) -> int:
+        return (
+            _REQUEST_LINE_OVERHEAD
+            + len(self.method)
+            + len(self.uri.path_and_query())
+            + self.headers.wire_size()
+            + 2
+            + self.body.wire_size()
+        )
+
+    def exact_key(self) -> str:
+        """Stable digest of the full request — the prefetch-cache key."""
+        hasher = hashlib.sha256()
+        hasher.update(self.method.encode())
+        hasher.update(b"\0")
+        hasher.update(self.uri.to_string().encode())
+        hasher.update(b"\0")
+        for name in sorted(n.lower() for n in self.headers.names()):
+            for value in self.headers.get_all(name):
+                hasher.update("{}:{}".format(name, value).encode())
+                hasher.update(b"\0")
+        hasher.update(self.body.to_wire().encode())
+        return hasher.hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Request):
+            return NotImplemented
+        return (
+            self.method == other.method
+            and self.uri == other.uri
+            and self.headers == other.headers
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.exact_key())
+
+    def __repr__(self) -> str:
+        return "Request({} {})".format(self.method, self.uri.to_string())
+
+
+class Response:
+    """An HTTP response."""
+
+    def __init__(
+        self,
+        status: int = 200,
+        headers: Optional[Headers] = None,
+        body: Optional[Body] = None,
+    ) -> None:
+        self.status = int(status)
+        self.headers = headers if headers is not None else Headers()
+        self.body = body if body is not None else EmptyBody()
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    def copy(self) -> "Response":
+        return Response(self.status, self.headers.copy(), self.body.copy())
+
+    def wire_size(self) -> int:
+        return (
+            _STATUS_LINE_OVERHEAD
+            + self.headers.wire_size()
+            + 2
+            + self.body.wire_size()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Response):
+            return NotImplemented
+        return (
+            self.status == other.status
+            and self.headers == other.headers
+            and self.body == other.body
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.status, self.body.to_wire()))
+
+    def __repr__(self) -> str:
+        return "Response({})".format(self.status)
+
+
+class Transaction:
+    """A request/response pair — the paper's unit of dependency."""
+
+    def __init__(
+        self,
+        request: Request,
+        response: Response,
+        started_at: float = 0.0,
+        finished_at: float = 0.0,
+        user: Optional[str] = None,
+        prefetched: bool = False,
+    ) -> None:
+        self.request = request
+        self.response = response
+        self.started_at = started_at
+        self.finished_at = finished_at
+        self.user = user
+        self.prefetched = prefetched
+
+    @property
+    def elapsed(self) -> float:
+        return self.finished_at - self.started_at
+
+    def __repr__(self) -> str:
+        return "Transaction({} {} -> {})".format(
+            self.request.method, self.request.uri.to_string(), self.response.status
+        )

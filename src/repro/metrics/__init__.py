@@ -1,0 +1,21 @@
+"""Measurement helpers: latency statistics and data-usage accounting."""
+
+from repro.metrics.stats import (
+    cdf_points,
+    mean,
+    median,
+    percentile,
+    reduction,
+    summarize_latencies,
+)
+from repro.metrics.usage import DataUsage
+
+__all__ = [
+    "DataUsage",
+    "cdf_points",
+    "mean",
+    "median",
+    "percentile",
+    "reduction",
+    "summarize_latencies",
+]

@@ -1,0 +1,57 @@
+"""Latency statistics used by the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative probability) pairs for plotting a CDF."""
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(value, (index + 1) / n) for index, value in enumerate(ordered)]
+
+
+def reduction(original: float, accelerated: float) -> float:
+    """Fractional latency reduction (0.47 = '47% lower')."""
+    if original <= 0:
+        return 0.0
+    return 1.0 - accelerated / original
+
+
+def summarize_latencies(values: Sequence[float]) -> Dict[str, float]:
+    return {
+        "count": float(len(values)),
+        "mean": mean(values),
+        "median": median(values),
+        "p90": percentile(values, 90.0),
+        "min": min(values),
+        "max": max(values),
+    }

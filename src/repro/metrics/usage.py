@@ -1,0 +1,41 @@
+"""Data-usage accounting (Fig. 16 bottom row, Fig. 17 annotations).
+
+The paper measures "the size of responses transmitted between the
+proxy and server, normalized to the size of the environment that does
+not prefetch".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.httpmsg.message import Transaction
+
+
+class DataUsage:
+    """Bytes between proxy (or client, in the Orig case) and servers."""
+
+    def __init__(self) -> None:
+        self.demand_bytes = 0
+        self.prefetch_bytes = 0
+
+    @property
+    def total(self) -> int:
+        return self.demand_bytes + self.prefetch_bytes
+
+    def add_transactions(self, transactions: Iterable[Transaction]) -> None:
+        for transaction in transactions:
+            self.demand_bytes += (
+                transaction.request.wire_size() + transaction.response.wire_size()
+            )
+
+    def normalized_to(self, baseline: "DataUsage") -> float:
+        """This usage as a multiple of ``baseline`` (1.0 = identical)."""
+        if baseline.total == 0:
+            return 0.0
+        return self.total / float(baseline.total)
+
+    def __repr__(self) -> str:
+        return "DataUsage(demand={}, prefetch={})".format(
+            self.demand_bytes, self.prefetch_bytes
+        )

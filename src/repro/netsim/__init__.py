@@ -1,0 +1,37 @@
+"""Discrete-event network simulator.
+
+A small generator-based process simulator (in the style of SimPy) plus
+network primitives:
+
+* :class:`Simulator` — event loop with a virtual clock.
+* :class:`Event` / :class:`Process` — synchronization primitives;
+  processes are generators that ``yield`` delays or events.
+* :class:`Link` — point-to-point link with RTT and bandwidth; transfer
+  time is propagation (RTT/2) plus serialization (bytes / bandwidth).
+* :class:`DirectTransport` / higher layers wire a client to origin
+  servers, optionally through the acceleration proxy.
+
+All times are in seconds; all sizes in bytes.
+"""
+
+from repro.netsim.sim import Simulator, Event, Process, Delay, Timeout
+from repro.netsim.link import Link
+from repro.netsim.transport import (
+    Endpoint,
+    Transport,
+    DirectTransport,
+    OriginMap,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Process",
+    "Delay",
+    "Timeout",
+    "Link",
+    "Endpoint",
+    "Transport",
+    "DirectTransport",
+    "OriginMap",
+]

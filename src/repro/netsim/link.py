@@ -1,0 +1,72 @@
+"""Point-to-point links with RTT and bandwidth."""
+
+from __future__ import annotations
+
+
+class Link:
+    """A symmetric link characterized by round-trip time and bandwidth.
+
+    One-way transfer time for ``size`` bytes is::
+
+        rtt/2 + size * 8 / bandwidth_bps
+
+    Transfers do not contend (each message sees the full bandwidth),
+    matching the paper's setup where parallel prefetch requests ride
+    separate HTTP connections.
+    """
+
+    def __init__(
+        self,
+        rtt: float,
+        bandwidth_bps: float = 25e6,
+        name: str = "",
+        shared: bool = False,
+    ) -> None:
+        if rtt < 0:
+            raise ValueError("negative RTT")
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.rtt = float(rtt)
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.name = name
+        #: shared links serialize transfers through one bottleneck
+        #: (an access link); unshared links give each flow the full
+        #: bandwidth (wide Internet paths)
+        self.shared = shared
+        self._busy_until = 0.0
+
+    def one_way(self, size_bytes: int) -> float:
+        """Seconds to move ``size_bytes`` one way, ignoring contention."""
+        if size_bytes < 0:
+            raise ValueError("negative size")
+        return self.rtt / 2.0 + size_bytes * 8.0 / self.bandwidth_bps
+
+    def transfer_delay(self, now: float, size_bytes: int) -> float:
+        """One-way delay starting at ``now``, honoring contention.
+
+        On a shared link the serialization of concurrent transfers
+        queues behind one bottleneck; on an unshared link this equals
+        :meth:`one_way`.
+        """
+        if size_bytes < 0:
+            raise ValueError("negative size")
+        serialization = size_bytes * 8.0 / self.bandwidth_bps
+        if not self.shared:
+            return self.rtt / 2.0 + serialization
+        start = max(now, self._busy_until)
+        self._busy_until = start + serialization
+        return (start + serialization + self.rtt / 2.0) - now
+
+    def reset(self) -> None:
+        """Forget queued state (fresh link for a new run)."""
+        self._busy_until = 0.0
+
+    def round_trip(self, request_bytes: int, response_bytes: int) -> float:
+        return self.one_way(request_bytes) + self.one_way(response_bytes)
+
+    def __repr__(self) -> str:
+        return "Link(rtt={:.3f}s, bw={:.0f}bps{})".format(
+            self.rtt,
+            self.bandwidth_bps,
+            ", name={!r}".format(self.name) if self.name else "",
+        )

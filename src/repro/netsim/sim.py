@@ -1,0 +1,181 @@
+"""Generator-based discrete-event simulation core.
+
+A *process* is a generator.  Each ``yield`` hands the simulator one of:
+
+* :class:`Delay` — resume after a fixed virtual-time interval;
+* :class:`Event` — resume when the event is triggered (with its value);
+* :class:`Process` — resume when the child process finishes (with its
+  return value), so ``response = yield self.sim.spawn(child())`` works.
+
+``return value`` inside a process delivers ``value`` to whoever waits
+on it.  The scheduler is deterministic: ties in time break by
+scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+
+class Delay:
+    """Yielded by a process to sleep for ``seconds`` of virtual time."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("negative delay: {}".format(seconds))
+        self.seconds = float(seconds)
+
+    def __repr__(self) -> str:
+        return "Delay({})".format(self.seconds)
+
+
+class Event:
+    """One-shot event; processes wait on it, someone triggers it."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self.is_error = False
+        self._waiters: List["Process"] = []
+
+    def succeed(self, value: Any = None) -> None:
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for process in self._waiters:
+            self.sim.schedule(0.0, process._resume, value, False)
+        self._waiters = []
+
+    def fail(self, error: BaseException) -> None:
+        if self.triggered:
+            raise RuntimeError("event already triggered")
+        self.triggered = True
+        self.value = error
+        self.is_error = True
+        for process in self._waiters:
+            self.sim.schedule(0.0, process._resume, error, True)
+        self._waiters = []
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.triggered:
+            self.sim.schedule(0.0, process._resume, self.value, self.is_error)
+        else:
+            self._waiters.append(process)
+
+
+class Process(Event):
+    """A running generator; also an event that fires on completion."""
+
+    def __init__(self, sim: "Simulator", generator: Generator) -> None:
+        super().__init__(sim)
+        self._generator = generator
+        self.alive = True
+
+    def _start(self) -> None:
+        if not self.alive:
+            return
+        self._step(lambda: next(self._generator))
+
+    def _resume(self, value: Any, is_error: bool) -> None:
+        if not self.alive:
+            return
+        if is_error:
+            self._step(lambda: self._generator.throw(value))
+        else:
+            self._step(lambda: self._generator.send(value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            yielded = advance()
+        except StopIteration as stop:
+            self.alive = False
+            self.succeed(getattr(stop, "value", None))
+            return
+        except Exception as error:
+            self.alive = False
+            self.fail(error)
+            return
+        if isinstance(yielded, Delay):
+            self.sim.schedule(yielded.seconds, self._resume, None, False)
+        elif isinstance(yielded, Event):
+            yielded._add_waiter(self)
+        else:
+            self.alive = False
+            self.fail(
+                TypeError("process yielded {!r}; expected Delay/Event".format(yielded))
+            )
+
+    def interrupt(self) -> None:
+        """Stop the process; it never resumes and never completes."""
+        self.alive = False
+        self._generator.close()
+
+
+class Timeout(Event):
+    """Event that fires after a fixed interval (composable wait)."""
+
+    def __init__(self, sim: "Simulator", seconds: float) -> None:
+        super().__init__(sim)
+        sim.schedule(seconds, self._fire)
+
+    def _fire(self) -> None:
+        if not self.triggered:
+            self.succeed(None)
+
+
+class Simulator:
+    """Deterministic discrete-event loop with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._sequence = 0
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback, args))
+
+    def spawn(self, generator: Generator) -> Process:
+        """Start a process now; returns its completion event."""
+        process = Process(self, generator)
+        self.schedule(0.0, process._start)
+        return process
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, seconds: float) -> Timeout:
+        return Timeout(self, seconds)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue (optionally stopping at time ``until``)."""
+        while self._queue:
+            when, _, callback, args = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            callback(*args)
+        return self._now
+
+    def run_process(self, generator: Generator) -> Any:
+        """Spawn ``generator``, run to completion, return its value."""
+        process = self.spawn(generator)
+        self.run()
+        if not process.triggered:
+            raise RuntimeError("process did not complete (deadlock?)")
+        if process.is_error:
+            raise process.value
+        return process.value

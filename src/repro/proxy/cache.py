@@ -1,0 +1,102 @@
+"""Prefetched-response cache (§4.5).
+
+Keyed by the *exact* request (method + URI + headers + body digest) and
+isolated per user — §2: "the proxy keeps track of user contexts and
+manages prefetched response per user separately"; §4.5: "the proxy
+sends the response only when the prefetch request is identical to the
+client's request".  Entries carry an expiration time (§4.4 policy) and
+per-signature hit statistics feed the prefetch priority (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.httpmsg.message import Request, Response
+
+
+class CacheEntry:
+    __slots__ = ("response", "site", "fetched_at", "expires_at", "served")
+
+    def __init__(
+        self, response: Response, site: str, fetched_at: float, expires_at: float
+    ) -> None:
+        self.response = response
+        self.site = site
+        self.fetched_at = fetched_at
+        self.expires_at = expires_at
+        self.served = False
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def __repr__(self) -> str:
+        return "CacheEntry({}, expires_at={:.1f})".format(self.site, self.expires_at)
+
+
+class PrefetchCache:
+    """Per-user exact-match response cache with expiry."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], CacheEntry] = {}
+        self.hits: Dict[str, int] = {}
+        self.misses: Dict[str, int] = {}
+        self.expired_evictions = 0
+        self.stored = 0
+
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        user: str,
+        request: Request,
+        response: Response,
+        site: str,
+        now: float,
+        ttl: float,
+    ) -> None:
+        key = (user, request.exact_key())
+        self._entries[key] = CacheEntry(response, site, now, now + ttl)
+        self.stored += 1
+
+    def get(self, user: str, request: Request, now: float) -> Optional[CacheEntry]:
+        """Exact-match lookup; expired entries are evicted, not served."""
+        key = (user, request.exact_key())
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.expired(now):
+            del self._entries[key]
+            self.expired_evictions += 1
+            return None
+        return entry
+
+    def record_hit(self, site: str) -> None:
+        self.hits[site] = self.hits.get(site, 0) + 1
+
+    def record_miss(self, site: str) -> None:
+        self.misses[site] = self.misses.get(site, 0) + 1
+
+    def contains_fresh(self, user: str, request: Request, now: float) -> bool:
+        key = (user, request.exact_key())
+        entry = self._entries.get(key)
+        return entry is not None and not entry.expired(now)
+
+    def hit_rate(self, site: str) -> float:
+        hits = self.hits.get(site, 0)
+        misses = self.misses.get(site, 0)
+        if hits + misses == 0:
+            return 0.0
+        return hits / float(hits + misses)
+
+    def purge_expired(self, now: float) -> int:
+        stale = [key for key, entry in self._entries.items() if entry.expired(now)]
+        for key in stale:
+            del self._entries[key]
+        self.expired_evictions += len(stale)
+        return len(stale)
+
+    def entries_for_user(self, user: str) -> List[CacheEntry]:
+        return [entry for (u, _), entry in self._entries.items() if u == user]
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,439 @@
+"""Run-time signature machinery: matching and request instances.
+
+A :class:`RuntimeSignature` wraps a static
+:class:`~repro.analysis.model.TransactionSignature` with compiled
+regexes (wildcard atoms become capture groups, so observing a concrete
+value teaches the proxy what the wildcard stands for) and its
+dependency edges.  A :class:`RequestInstance` is one concrete prefetch
+request being assembled, exactly the paper's Fig. 7 evolution: created
+from the successor's signature, fields copied in from predecessor
+responses and learned run-time values until nothing is missing.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.model import (
+    AltAtom,
+    AnalysisResult,
+    ConstAtom,
+    DepAtom,
+    DependencyEdge,
+    TransactionSignature,
+    UnknownAtom,
+    ValueTemplate,
+)
+from repro.httpmsg.fieldpath import ALL, FieldPath
+from repro.httpmsg.headers import Headers
+from repro.httpmsg.message import Request
+from repro.httpmsg.uri import Uri
+
+#: tags whose learned values are user-specific, never shared across users
+PER_USER_TAG_PREFIXES = (
+    "env:cookie",
+    "env:userAgent",
+    "env:deviceId",
+    "env:flag",
+    "env:nonce",
+    "ui:",
+)
+
+
+def is_per_user_tag(tag: str) -> bool:
+    return any(tag.startswith(prefix) for prefix in PER_USER_TAG_PREFIXES)
+
+
+class TemplateMatcher:
+    """Compiled form of a :class:`ValueTemplate` with capture groups."""
+
+    def __init__(self, template: ValueTemplate) -> None:
+        self.template = template
+        pattern_parts: List[str] = []
+        self.group_atoms: List[object] = []  # atom per capture group
+        for atom in template.atoms:
+            if isinstance(atom, ConstAtom):
+                pattern_parts.append(re.escape(str(atom.value)))
+            elif isinstance(atom, AltAtom):
+                pattern_parts.append("({})".format(atom.regex()[1:-1]))
+                self.group_atoms.append(atom)
+            else:
+                pattern_parts.append("(.*)")
+                self.group_atoms.append(atom)
+        self.pattern = re.compile("".join(pattern_parts))
+
+    def match(self, text: str) -> Optional[List[Tuple[object, str]]]:
+        """Match ``text``; returns [(atom, captured value)] or None.
+
+        Alternation groups may contain nested groups; only top-level
+        captures are associated with atoms, so nested groups are
+        skipped by position bookkeeping.
+        """
+        matched = self.pattern.fullmatch(str(text))
+        if matched is None:
+            return None
+        captures: List[Tuple[object, str]] = []
+        # map top-level group indices: groups open in order; we rely on
+        # our own pattern construction placing one top-level group per
+        # wildcard atom, in order, before any nested groups from AltAtom
+        # regexes. re module numbers groups by opening parenthesis, so
+        # walk and keep those whose span belongs to a yet-unclaimed atom.
+        group_index = 1
+        for atom in self.group_atoms:
+            captures.append((atom, matched.group(group_index) or ""))
+            group_index += 1 + _nested_group_count(atom)
+        return captures
+
+
+def _nested_group_count(atom: object) -> int:
+    if isinstance(atom, AltAtom):
+        return sum(
+            option.regex().count("(") for option in atom.options
+        )
+    return 0
+
+
+class RuntimeSignature:
+    """A signature plus everything the proxy needs at run time."""
+
+    def __init__(self, signature: TransactionSignature) -> None:
+        self.signature = signature
+        self.site = signature.site
+        self.uri_matcher = TemplateMatcher(signature.request.uri)
+        self.field_matchers: Dict[FieldPath, TemplateMatcher] = {
+            path: TemplateMatcher(template)
+            for path, template in signature.request.fields.items()
+        }
+        #: precomputed (path, path-string, template) rows in field order
+        self.field_rows: List[Tuple[FieldPath, str, ValueTemplate]] = [
+            (path, path.to_string(), template)
+            for path, template in signature.request.fields.items()
+        ]
+        self.fields_by_string: Dict[str, Tuple[FieldPath, ValueTemplate]] = {
+            path_string: (path, template)
+            for path, path_string, template in self.field_rows
+        }
+        #: edges where this signature is the predecessor
+        self.out_edges: List[DependencyEdge] = []
+        #: edges where this signature is the successor
+        self.in_edges: List[DependencyEdge] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def is_successor(self) -> bool:
+        return bool(self.in_edges)
+
+    @property
+    def is_predecessor(self) -> bool:
+        return bool(self.out_edges)
+
+    def literal_specificity(self) -> int:
+        """Total literal characters — used to rank ambiguous matches."""
+        total = 0
+        for atom in self.signature.request.uri.atoms:
+            if isinstance(atom, ConstAtom):
+                total += len(str(atom.value))
+        return total
+
+    def matches_request(self, request: Request) -> bool:
+        if request.method != self.signature.request.method:
+            return False
+        base_uri = request.uri.origin() + request.uri.path
+        return self.uri_matcher.pattern.fullmatch(base_uri) is not None
+
+    def __repr__(self) -> str:
+        return "RuntimeSignature({})".format(self.site)
+
+
+class SignatureMatcher:
+    """Regex-based learning-target identification (Fig. 6, step 2)."""
+
+    def __init__(self, signatures: List[RuntimeSignature]) -> None:
+        self.signatures = signatures
+
+    def match(self, request: Request) -> Optional[RuntimeSignature]:
+        """Most-specific signature whose URI pattern matches."""
+        best: Optional[RuntimeSignature] = None
+        best_rank = (-1, 0)
+        for index, candidate in enumerate(self.signatures):
+            if not candidate.matches_request(request):
+                continue
+            rank = (candidate.literal_specificity(), -index)
+            if rank > best_rank:
+                best = candidate
+                best_rank = rank
+        return best
+
+
+def build_runtime_signatures(result: AnalysisResult) -> List[RuntimeSignature]:
+    runtime = {s.site: RuntimeSignature(s) for s in result.signatures}
+    for edge in result.dependencies:
+        if edge.pred_site in runtime:
+            runtime[edge.pred_site].out_edges.append(edge)
+        if edge.succ_site in runtime:
+            runtime[edge.succ_site].in_edges.append(edge)
+    return [runtime[s.site] for s in result.signatures]
+
+
+class ValueStore:
+    """Learned run-time values (Fig. 7): per-tag and per-field, with
+    user-specific isolation for user-bound tags."""
+
+    def __init__(self) -> None:
+        self._global_tags: Dict[str, str] = {}
+        self._user_tags: Dict[Tuple[str, str], str] = {}
+        self._global_fields: Dict[Tuple[str, str], str] = {}
+        self._user_fields: Dict[Tuple[str, str, str], str] = {}
+        #: bumped whenever any value changes; pending instances use it
+        #: to skip rebuild attempts when nothing new was learned
+        self.version = 0
+
+    # -- writes ---------------------------------------------------------
+    def learn_tag(self, user: str, tag: str, value: str) -> None:
+        if is_per_user_tag(tag):
+            key = (user, tag)
+            if self._user_tags.get(key) != value:
+                self._user_tags[key] = value
+                self.version += 1
+        else:
+            if self._global_tags.get(tag) != value:
+                self._global_tags[tag] = value
+                self.version += 1
+
+    def learn_field(self, user: str, site: str, path: str, value: str, per_user: bool) -> None:
+        if per_user:
+            key = (user, site, path)
+            if self._user_fields.get(key) != value:
+                self._user_fields[key] = value
+                self.version += 1
+        else:
+            slot = (site, path)
+            if self._global_fields.get(slot) != value:
+                self._global_fields[slot] = value
+                self.version += 1
+
+    def global_snapshot(self) -> "ValueStore":
+        """A new store holding only the app-level (non-user) values.
+
+        The verification phase (§4.3) runs the app through the proxy
+        before deployment; the app-level constants it learns (API
+        hosts, client version, build flavor) seed the deployed proxy so
+        first-session prefetching resolves immediately.  User-bound
+        values are never carried over.
+        """
+        snapshot = ValueStore()
+        snapshot._global_tags = dict(self._global_tags)
+        snapshot._global_fields = dict(self._global_fields)
+        return snapshot
+
+    # -- reads ----------------------------------------------------------
+    def tag_value(self, user: str, tag: str) -> Optional[str]:
+        if is_per_user_tag(tag):
+            return self._user_tags.get((user, tag))
+        return self._global_tags.get(tag)
+
+    def field_value(self, user: str, site: str, path: str) -> Optional[str]:
+        value = self._user_fields.get((user, site, path))
+        if value is not None:
+            return value
+        return self._global_fields.get((site, path))
+
+
+class RequestInstance:
+    """One prefetch request being assembled for one user (Fig. 7).
+
+    ``dep_values`` maps successor-field-path strings to values copied
+    out of predecessor responses; ``depth`` is the prefetch-chain depth
+    (1 = created directly from a client-observed transaction).
+    """
+
+    def __init__(
+        self,
+        signature: RuntimeSignature,
+        user: str,
+        depth: int = 1,
+        trigger_site: Optional[str] = None,
+    ) -> None:
+        self.signature = signature
+        self.user = user
+        self.depth = depth
+        self.trigger_site = trigger_site
+        self.dep_values: Dict[str, str] = {}
+        #: scalar fields of the predecessor response, for Fig. 9
+        #: ``condition`` policies
+        self.pred_context: Dict[str, object] = {}
+        self._last_attempt: Optional[Tuple] = None
+
+    def fill(self, path: FieldPath, value) -> None:
+        self.dep_values[path.to_string()] = str(value)
+
+    def dedupe_key(self) -> Tuple:
+        """Identity of this instance: signature + dep bindings."""
+        return (
+            self.signature.site,
+            self.user,
+            tuple(sorted(self.dep_values.items())),
+        )
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve_field(
+        self,
+        path: FieldPath,
+        template: ValueTemplate,
+        store: ValueStore,
+        path_string: Optional[str] = None,
+    ) -> Optional[str]:
+        """Concrete value for one field, or None if still unknown.
+
+        Resolution order per atom: constants stand as-is; dependency
+        atoms use the predecessor-derived binding; wildcard atoms use
+        (most specific first) the last value observed for this exact
+        field, then the tag-indexed store.  Alternations resolve via
+        the dependency binding or the observed field value.
+        """
+        if path_string is None:
+            path_string = path.to_string()
+        dep_value = self.dep_values.get(path_string)
+        parts: List[str] = []
+        for atom in template.atoms:
+            if isinstance(atom, ConstAtom):
+                parts.append(str(atom.value))
+            elif isinstance(atom, DepAtom):
+                if dep_value is None:
+                    return None
+                parts.append(dep_value)
+            elif isinstance(atom, UnknownAtom):
+                value = None
+                if len(template.atoms) == 1:
+                    value = store.field_value(self.user, self.signature.site, path_string)
+                if value is None:
+                    value = store.tag_value(self.user, atom.tag)
+                if value is None:
+                    return None
+                parts.append(value)
+            elif isinstance(atom, AltAtom):
+                if dep_value is not None:
+                    parts.append(dep_value)
+                    continue
+                value = store.field_value(self.user, self.signature.site, path_string)
+                if value is None:
+                    return None
+                parts.append(value)
+            else:  # pragma: no cover
+                return None
+        return "".join(parts)
+
+    def resolve_uri(self, store: ValueStore) -> Optional[str]:
+        return self.resolve_field(
+            FieldPath("uri"), self.signature.signature.request.uri, store
+        )
+
+    def choose_variant(
+        self,
+        store: ValueStore,
+        preferred: Optional[frozenset] = None,
+        resolved: Optional[Dict[str, Optional[str]]] = None,
+    ) -> Optional[frozenset]:
+        """Pick the field-set variant to build (Fig. 8 adaptation).
+
+        The most recently observed variant wins; before any
+        observation, the variant with the most *resolvable* fields
+        (largest on ties) stands in.
+        """
+        variants = self.signature.signature.variants
+        if preferred is not None and preferred in set(variants):
+            return preferred
+        if resolved is None:
+            resolved = self._resolve_all(store)
+        best = None
+        best_rank = (-1, -1)
+        for variant in variants:
+            unresolvable = sum(
+                1 for path_string in variant if resolved.get(path_string) is None
+            )
+            rank = (-unresolvable, len(variant))
+            if rank > best_rank:
+                best = variant
+                best_rank = rank
+        return best
+
+    def _resolve_all(self, store: ValueStore) -> Dict[str, Optional[str]]:
+        return {
+            path_string: self.resolve_field(path, template, store, path_string)
+            for path, path_string, template in self.signature.field_rows
+        }
+
+    def build(
+        self, store: ValueStore, preferred_variant: Optional[frozenset] = None
+    ) -> Optional[Request]:
+        """Assemble the concrete request, or None while values missing."""
+        uri_string = self.resolve_uri(store)
+        if uri_string is None:
+            return None
+        try:
+            uri = Uri.parse(uri_string)
+        except ValueError:
+            return None
+        resolved = self._resolve_all(store)
+        variant = self.choose_variant(store, preferred_variant, resolved)
+        if variant is None:
+            return None
+        request = Request(
+            method=self.signature.signature.request.method,
+            uri=uri,
+            headers=Headers(),
+        )
+        body_kind = self.signature.signature.request.body_kind
+        if body_kind == "form":
+            request.body = _new_form()
+        elif body_kind == "json":
+            request.body = _new_json()
+        for path, path_string, _template in self.signature.field_rows:
+            if path_string not in variant:
+                continue
+            value = resolved.get(path_string)
+            if value is None:
+                return None
+            if path.root == "header":
+                request.headers.add(str(path.parts[0]), value)
+            elif path.root == "query":
+                request.uri.query.append((str(path.parts[0]), value))
+            elif path.root == "body":
+                if body_kind == "form":
+                    request.body.add(str(path.parts[0]), value)
+                else:
+                    path.assign(request, value)
+        return request
+
+    def try_build(
+        self, store: ValueStore, preferred_variant: Optional[frozenset] = None
+    ) -> Optional[Request]:
+        """Like :meth:`build`, but skips work when nothing new was
+        learned since the last failed attempt."""
+        marker = (store.version, preferred_variant)
+        if self._last_attempt == marker:
+            return None
+        request = self.build(store, preferred_variant)
+        if request is None:
+            self._last_attempt = marker
+        return request
+
+    def __repr__(self) -> str:
+        return "RequestInstance({}, user={}, depth={})".format(
+            self.signature.site, self.user, self.depth
+        )
+
+
+def _new_form():
+    from repro.httpmsg.body import FormBody
+
+    return FormBody()
+
+
+def _new_json():
+    from repro.httpmsg.body import JsonBody
+
+    return JsonBody({})

@@ -1,0 +1,297 @@
+"""Dynamic learning (§4.2, Figs. 6–8).
+
+For every HTTP transaction the proxy observes it:
+
+1. identifies the *learning target* by regex-matching the URI against
+   the signature set;
+2. when the target is a **successor**, learns run-time values from the
+   actual message (wildcard captures → tag store, field values, which
+   branch-variant the app used most recently) — Fig. 7 case 2;
+3. when the target is a **predecessor**, extracts the dependency-source
+   fields from the response and creates/fills successor request
+   instances, replicated per list element — Fig. 7 case 1;
+4. retries pending instances whose missing values may now be known.
+
+Cookie state is tracked per user (the §2 "user context"): responses'
+``Set-Cookie`` headers update a per-user jar, and the ``env:cookie``
+wildcard resolves to the jar's current header for the target origin,
+so a prefetch built *after* a session cookie was issued matches the
+client's next request even though no client request carried the new
+cookie yet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.model import (
+    AltAtom,
+    AnalysisResult,
+    ConstAtom,
+    DepAtom,
+    UnknownAtom,
+)
+from repro.httpmsg.cookies import CookieJar
+from repro.httpmsg.fieldpath import FieldPath
+from repro.httpmsg.message import Request, Response, Transaction
+from repro.proxy.instances import (
+    RequestInstance,
+    RuntimeSignature,
+    SignatureMatcher,
+    ValueStore,
+    build_runtime_signatures,
+    is_per_user_tag,
+)
+
+MAX_PENDING = 10_000
+
+
+class ReadyPrefetch:
+    """A fully-resolved prefetch request handed to the prefetcher."""
+
+    __slots__ = ("instance", "request")
+
+    def __init__(self, instance: RequestInstance, request: Request) -> None:
+        self.instance = instance
+        self.request = request
+
+    def __repr__(self) -> str:
+        return "ReadyPrefetch({} {})".format(
+            self.instance.signature.site, self.request.uri.to_string()
+        )
+
+
+class DynamicLearner:
+    """Per-app learning state shared across users (with per-user
+    isolation for user-bound values)."""
+
+    def __init__(
+        self,
+        analysis: AnalysisResult,
+        store: Optional[ValueStore] = None,
+        max_depth: Optional[int] = None,
+        static_only: bool = False,
+    ) -> None:
+        self.analysis = analysis
+        self.signatures = build_runtime_signatures(analysis)
+        # Fig. 6 step 1: only signatures participating in a dependency
+        # are interesting; the matcher still sees all of them so that
+        # ambiguous URIs resolve to the most specific signature.
+        self.matcher = SignatureMatcher(self.signatures)
+        self.store = store if store is not None else ValueStore()
+        #: chain-depth bound; instances beyond it are never spawned
+        #: (the prefetcher would reject them anyway)
+        self.max_depth = max_depth
+        #: ablation: a PALOMA-style proxy that uses only what static
+        #: analysis provides — no run-time value learning.  Requests
+        #: whose formats are fully determined at run time can then
+        #: never be reconstructed (§7's comparison)
+        self.static_only = static_only
+        self.preferred_variant: Dict[Tuple[str, str], frozenset] = {}
+        self._pending: List[RequestInstance] = []
+        self._pending_keys: set = set()
+        self._jars: Dict[str, CookieJar] = {}
+        self.observed_count = 0
+
+    # ------------------------------------------------------------------
+    def jar(self, user: str) -> CookieJar:
+        if user not in self._jars:
+            self._jars[user] = CookieJar()
+        return self._jars[user]
+
+    def signature_for(self, request: Request) -> Optional[RuntimeSignature]:
+        return self.matcher.match(request)
+
+    # ------------------------------------------------------------------
+    def observe(
+        self, transaction: Transaction, user: str, depth: int = 0
+    ) -> List[ReadyPrefetch]:
+        """Feed one observed transaction through Fig. 6's workflow.
+
+        ``depth`` is the prefetch-chain depth of the transaction (0 for
+        client traffic); instances it spawns get ``depth + 1``.
+        Returns newly completed prefetch requests.
+        """
+        self.observed_count += 1
+        signature = self.matcher.match(transaction.request)
+        if signature is None:
+            self._track_cookies(transaction, user, signature)
+            return []
+        if not self.static_only:
+            # case 2: the transaction is an actual example of this
+            # signature
+            self._learn_from_request(signature, transaction.request, user)
+            # jar-derived cookie state must win over the request's
+            # (already stale) Cookie header: the client's *next* request
+            # will carry whatever Set-Cookie this response just issued
+            self._track_cookies(transaction, user, signature)
+        ready: List[ReadyPrefetch] = []
+        # case 1: predecessor — spawn successor instances
+        if signature.is_predecessor and transaction.response.ok:
+            for instance in self._spawn_successors(
+                signature, transaction.response, user, depth
+            ):
+                self._enqueue(instance)
+        # drain anything now resolvable (including older pending work)
+        ready.extend(self._drain_pending())
+        return ready
+
+    # ------------------------------------------------------------------
+    # learning from an observed request (successor routine)
+    # ------------------------------------------------------------------
+    def _learn_from_request(
+        self, signature: RuntimeSignature, request: Request, user: str
+    ) -> None:
+        # URI wildcards: match with capture groups, learn tag values
+        base_uri = request.uri.origin() + request.uri.path
+        captures = signature.uri_matcher.match(base_uri)
+        if captures:
+            for atom, value in captures:
+                if isinstance(atom, UnknownAtom):
+                    self.store.learn_tag(user, atom.tag, value)
+        # field values + the variant actually present
+        present: List[str] = []
+        for path, template in signature.signature.request.fields.items():
+            values = path.extract(request)
+            if not values:
+                continue
+            present.append(path.to_string())
+            value = str(values[0])
+            if template.dep_atoms():
+                continue  # dependency-derived: per-instance, never cached
+            per_user = any(
+                is_per_user_tag(atom.tag) for atom in template.unknown_atoms()
+            )
+            self.store.learn_field(
+                user, signature.site, path.to_string(), value, per_user
+            )
+            if len(template.atoms) == 1 and isinstance(template.atoms[0], UnknownAtom):
+                self.store.learn_tag(user, template.atoms[0].tag, value)
+        variant = frozenset(present)
+        if variant in set(signature.signature.variants):
+            self.preferred_variant[(user, signature.site)] = variant
+
+    def _track_cookies(
+        self,
+        transaction: Transaction,
+        user: str,
+        signature: Optional[RuntimeSignature],
+    ) -> None:
+        origin = transaction.request.uri.origin()
+        jar = self.jar(user)
+        jar.store_from_response(origin, transaction.response)
+        # follow the client's session: signatures that send a Cookie
+        # header will send the *updated* jar contents next time
+        sends_cookie = signature is not None and any(
+            path.root == "header" and str(path.parts[0]).lower() == "cookie"
+            for path in signature.signature.request.fields
+        )
+        if sends_cookie:
+            self.store.learn_tag(user, "env:cookie", jar.cookie_header(origin))
+
+    # ------------------------------------------------------------------
+    # predecessor routine: replicate successor instances per value
+    # ------------------------------------------------------------------
+    def _spawn_successors(
+        self,
+        signature: RuntimeSignature,
+        response: Response,
+        user: str,
+        depth: int,
+    ) -> List[RequestInstance]:
+        if self.max_depth is not None and depth + 1 > self.max_depth:
+            return []
+        edges_by_successor: Dict[str, List] = {}
+        for edge in signature.out_edges:
+            edges_by_successor.setdefault(edge.succ_site, []).append(edge)
+        instances: List[RequestInstance] = []
+        by_site = {s.site: s for s in self.signatures}
+        for succ_site, edges in edges_by_successor.items():
+            successor = by_site.get(succ_site)
+            if successor is None:
+                continue
+            extracted: List[Tuple[FieldPath, List]] = []
+            for edge in edges:
+                values = edge.pred_path.extract(response)
+                if values:
+                    extracted.append((edge.succ_path, values))
+            if not extracted:
+                continue
+            replica_count = max(len(values) for _, values in extracted)
+            context = _scalar_fields(response)
+            for index in range(replica_count):
+                instance = RequestInstance(
+                    successor, user, depth=depth + 1, trigger_site=signature.site
+                )
+                for succ_path, values in extracted:
+                    value = values[index] if index < len(values) else values[0]
+                    instance.fill(succ_path, value)
+                # predecessor context for condition policies (Fig. 9):
+                # scalar fields aligned with this replica where possible
+                instance.pred_context = {
+                    key: (values[index] if len(values) == replica_count else values[0])
+                    for key, values in context.items()
+                }
+                instances.append(instance)
+        return instances
+
+    # ------------------------------------------------------------------
+    # pending-instance management
+    # ------------------------------------------------------------------
+    def _enqueue(self, instance: RequestInstance) -> None:
+        key = instance.dedupe_key()
+        if key in self._pending_keys:
+            return
+        if len(self._pending) >= MAX_PENDING:
+            dropped = self._pending.pop(0)
+            self._pending_keys.discard(dropped.dedupe_key())
+        self._pending.append(instance)
+        self._pending_keys.add(key)
+
+    def _drain_pending(self) -> List[ReadyPrefetch]:
+        ready: List[ReadyPrefetch] = []
+        remaining: List[RequestInstance] = []
+        for instance in self._pending:
+            preferred = self.preferred_variant.get(
+                (instance.user, instance.signature.site)
+            )
+            request = instance.try_build(self.store, preferred)
+            if request is None:
+                remaining.append(instance)
+            else:
+                ready.append(ReadyPrefetch(instance, request))
+                self._pending_keys.discard(instance.dedupe_key())
+        self._pending = remaining
+        return ready
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+def _scalar_fields(response: Response) -> Dict[str, List]:
+    """Flatten a JSON response body to {leaf key: [values...]}.
+
+    Used as the predecessor context for condition policies: keys keep
+    only their last path component (``price``), values accumulate in
+    document order so per-element alignment is possible.
+    """
+    from repro.httpmsg.body import JsonBody
+
+    fields: Dict[str, List] = {}
+    if not isinstance(response.body, JsonBody):
+        return fields
+
+    def walk(node) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                if isinstance(value, (dict, list)):
+                    walk(value)
+                else:
+                    fields.setdefault(key, []).append(value)
+        elif isinstance(node, list):
+            for item in node:
+                walk(item)
+
+    walk(response.body.value)
+    return fields

@@ -1,0 +1,78 @@
+"""Multi-app proxy (§2: "the proxy can accelerate multiple target apps").
+
+One deployment point accelerating several apps at once: requests are
+routed to the per-app :class:`AccelerationProxy` whose signature set
+claims the request's origin; unknown origins pass straight through to
+the network.  Each app keeps its own learner, cache, configuration,
+and statistics — exactly as if it had a dedicated proxy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.httpmsg.message import Request, Response
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.netsim.transport import OriginMap, Transport
+from repro.proxy.prefetcher import origin_fetch
+from repro.proxy.proxy import AccelerationProxy
+
+
+class MultiAppProxy:
+    """Routes traffic to per-app acceleration proxies by origin."""
+
+    def __init__(self, sim: Simulator, origins: OriginMap) -> None:
+        self.sim = sim
+        self.origins = origins
+        self._apps: List[Tuple[str, AccelerationProxy]] = []
+        self._by_origin: Dict[str, AccelerationProxy] = {}
+        self.passthrough = 0
+
+    def register_app(self, name: str, proxy: AccelerationProxy) -> None:
+        """Attach one app's generated proxy.
+
+        The origins the app's signatures can match are claimed by
+        probing each registered origin against the app's matcher, so
+        routing needs no extra configuration.
+        """
+        self._apps.append((name, proxy))
+        for origin in proxy.origins.origins():
+            self._by_origin[origin] = proxy
+
+    def app_for(self, request: Request) -> Optional[AccelerationProxy]:
+        return self._by_origin.get(request.uri.origin())
+
+    def handle_request(self, request: Request, user: str) -> Generator:
+        proxy = self.app_for(request)
+        if proxy is not None:
+            response = yield self.sim.spawn(proxy.handle_request(request, user))
+            return response
+        # unknown app traffic: plain forwarding, no acceleration
+        self.passthrough += 1
+        response, _ = yield self.sim.spawn(
+            origin_fetch(self.sim, self.origins, request, user)
+        )
+        return response
+
+    def stats(self) -> Dict[str, Dict]:
+        per_app = {name: proxy.stats() for name, proxy in self._apps}
+        per_app["_passthrough"] = {"requests": self.passthrough}
+        return per_app
+
+
+class MultiAppTransport(Transport):
+    """Client transport through a shared multi-app proxy."""
+
+    def __init__(self, sim: Simulator, access_link: Link, proxy: MultiAppProxy) -> None:
+        self.sim = sim
+        self.access_link = access_link
+        self.proxy = proxy
+
+    def send(self, request: Request, user: str) -> Generator:
+        request_size = request.wire_size()
+        yield Delay(self.access_link.transfer_delay(self.sim.now, request_size))
+        response = yield self.sim.spawn(self.proxy.handle_request(request, user))
+        response_size = response.wire_size()
+        yield Delay(self.access_link.transfer_delay(self.sim.now, response_size))
+        return response

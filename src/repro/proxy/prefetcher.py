@@ -1,0 +1,227 @@
+"""Prefetch issuing with priority scheduling (§4.5, §5).
+
+Eligibility gates (§4.4): per-signature ``prefetch`` flag, probability
+(per-signature × global), predecessor-field conditions, the chain-depth
+bound, and the data-usage budget (C4).  When more requests are ready
+than the concurrency limit allows, the waiting queue is drained in
+priority order — a linear combination of the signature's running-average
+origin response time and its cache hit rate, exactly the §5 policy
+("prioritize requests that take longer to complete and signatures that
+generate higher hit rates").
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.httpmsg.message import Request, Response, Transaction
+from repro.netsim.sim import Delay, Simulator
+from repro.netsim.transport import OriginMap
+from repro.proxy.cache import PrefetchCache
+from repro.proxy.config import ProxyConfig
+from repro.proxy.learning import DynamicLearner, ReadyPrefetch
+from repro.proxy.popularity import PopularityTracker, item_key_for_instance
+
+#: §5 priority weights: seconds of origin RTT vs hit-rate fraction
+TIME_WEIGHT = 1.0
+HIT_RATE_WEIGHT = 0.5
+
+
+def origin_fetch(
+    sim: Simulator, origins: OriginMap, request: Request, user: str
+) -> Generator:
+    """Process: proxy → origin round trip; returns (response, bytes)."""
+    endpoint = origins.endpoint_for(request)
+    if endpoint is None:
+        return Response(502), request.wire_size()
+    link = origins.link_for(request)
+    request_size = request.wire_size()
+    yield Delay(link.transfer_delay(sim.now, request_size))
+    response = yield sim.spawn(endpoint.handle(request, user))
+    response_size = response.wire_size()
+    yield Delay(link.transfer_delay(sim.now, response_size))
+    return response, request_size + response_size
+
+
+class Prefetcher:
+    """Issues ready prefetch requests against the origin servers."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        origins: OriginMap,
+        cache: PrefetchCache,
+        config: ProxyConfig,
+        learner: DynamicLearner,
+        seed: int = 0,
+        max_concurrent: int = 64,
+    ) -> None:
+        self.sim = sim
+        self.origins = origins
+        self.cache = cache
+        self.config = config
+        self.learner = learner
+        self.rng = random.Random(seed)
+        self.max_concurrent = max_concurrent
+        #: ablation switch: False degrades the waiting queue to FIFO
+        self.priority_enabled = True
+        #: client-demand popularity per (site, item) — §6.3 extension
+        self.popularity = PopularityTracker()
+        self._active = 0
+        self._sequence = 0
+        self._waiting: List[Tuple[float, int, ReadyPrefetch]] = []
+        self._inflight: Set[Tuple[str, str]] = set()
+        #: running average origin response time per signature site
+        self.avg_response_time: Dict[str, float] = {}
+        self._response_samples: Dict[str, int] = {}
+        self.prefetch_bytes = 0
+        self.issued = 0
+        self.success_by_site: Dict[str, int] = {}
+        self.error_by_site: Dict[str, int] = {}
+        #: one example request per site (verification probes reuse them)
+        self.sample_requests: Dict[str, Request] = {}
+        self.skipped_policy = 0
+        self.skipped_probability = 0
+        self.skipped_budget = 0
+        self.skipped_depth = 0
+        self.skipped_duplicate = 0
+        self.skipped_condition = 0
+        self.skipped_popularity = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, ready: ReadyPrefetch) -> None:
+        """Apply the policy gates, then schedule (or queue) the fetch."""
+        site = ready.instance.signature.site
+        policy = self.config.policy(site)
+        if not policy.prefetch:
+            self.skipped_policy += 1
+            return
+        if ready.instance.depth > self.config.max_chain_depth:
+            self.skipped_depth += 1
+            return
+        if policy.condition is not None and not policy.condition.evaluate(
+            getattr(ready.instance, "pred_context", {})
+        ):
+            self.skipped_condition += 1
+            return
+        if policy.popularity_top_k is not None and not self.popularity.allows(
+            site, item_key_for_instance(ready.instance), policy.popularity_top_k
+        ):
+            self.skipped_popularity += 1
+            return
+        probability = self.config.effective_probability(site)
+        if probability < 1.0 and self.rng.random() >= probability:
+            self.skipped_probability += 1
+            return
+        if (
+            self.config.data_budget_bytes is not None
+            and self.prefetch_bytes >= self.config.data_budget_bytes
+        ):
+            self.skipped_budget += 1
+            return
+        key = (ready.instance.user, ready.request.exact_key())
+        if key in self._inflight or self.cache.contains_fresh(
+            ready.instance.user, ready.request, self.sim.now
+        ):
+            self.skipped_duplicate += 1
+            return
+        self._inflight.add(key)
+        if self._active < self.max_concurrent:
+            self._start(ready)
+        else:
+            self._sequence += 1
+            heapq.heappush(
+                self._waiting, (-self._priority(site), self._sequence, ready)
+            )
+
+    def _priority(self, site: str) -> float:
+        if not self.priority_enabled:
+            return 0.0  # heap degenerates to submission order
+        return (
+            TIME_WEIGHT * self.avg_response_time.get(site, 0.0)
+            + HIT_RATE_WEIGHT * self.cache.hit_rate(site)
+        )
+
+    def _start(self, ready: ReadyPrefetch) -> None:
+        self._active += 1
+        self.sim.spawn(self._fetch(ready))
+
+    # ------------------------------------------------------------------
+    def _fetch(self, ready: ReadyPrefetch) -> Generator:
+        site = ready.instance.signature.site
+        user = ready.instance.user
+        policy = self.config.policy(site)
+        wire_request = ready.request.copy()
+        for name, value in policy.add_header:
+            wire_request.headers.add(name, value)
+        started_at = self.sim.now
+        try:
+            response, transferred = yield self.sim.spawn(
+                origin_fetch(self.sim, self.origins, wire_request, user)
+            )
+            self.prefetch_bytes += transferred
+            self.issued += 1
+            elapsed = self.sim.now - started_at
+            self._record_response_time(site, elapsed)
+            self.sample_requests.setdefault(site, ready.request.copy())
+            if response.ok:
+                self.success_by_site[site] = self.success_by_site.get(site, 0) + 1
+                self.cache.put(
+                    user,
+                    ready.request,
+                    response,
+                    site,
+                    now=self.sim.now,
+                    ttl=policy.expiration_time,
+                )
+                # chain prefetching (Fig. 3c): the prefetched response
+                # may itself be a predecessor
+                transaction = Transaction(
+                    ready.request,
+                    response,
+                    started_at,
+                    self.sim.now,
+                    user=user,
+                    prefetched=True,
+                )
+                for next_ready in self.learner.observe(
+                    transaction, user, depth=ready.instance.depth
+                ):
+                    self.submit(next_ready)
+            else:
+                self.errors += 1
+                self.error_by_site[site] = self.error_by_site.get(site, 0) + 1
+        finally:
+            self._inflight.discard((user, ready.request.exact_key()))
+            self._active -= 1
+            self._drain()
+        return None
+
+    def _record_response_time(self, site: str, elapsed: float) -> None:
+        samples = self._response_samples.get(site, 0)
+        current = self.avg_response_time.get(site, 0.0)
+        self.avg_response_time[site] = (current * samples + elapsed) / (samples + 1)
+        self._response_samples[site] = samples + 1
+
+    def _drain(self) -> None:
+        while self._active < self.max_concurrent and self._waiting:
+            _, _, ready = heapq.heappop(self._waiting)
+            self._start(ready)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "issued": self.issued,
+            "errors": self.errors,
+            "prefetch_bytes": self.prefetch_bytes,
+            "skipped_policy": self.skipped_policy,
+            "skipped_probability": self.skipped_probability,
+            "skipped_budget": self.skipped_budget,
+            "skipped_depth": self.skipped_depth,
+            "skipped_duplicate": self.skipped_duplicate,
+            "skipped_condition": self.skipped_condition,
+            "skipped_popularity": self.skipped_popularity,
+        }

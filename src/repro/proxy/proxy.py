@@ -1,0 +1,140 @@
+"""The acceleration proxy in operation (§4.5, Fig. 10).
+
+Per client request: serve from the prefetch cache when the request is
+*identical* to a prefetched one and unexpired; otherwise forward to the
+origin.  Every transaction — forwarded or served — feeds dynamic
+learning, whose completed instances go to the prefetcher.
+
+:class:`ProxiedTransport` is the client-side transport that routes the
+device's traffic through the proxy over the access link, replacing
+:class:`~repro.netsim.DirectTransport` in the accelerated topology.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from repro.analysis.model import AnalysisResult
+from repro.httpmsg.message import Request, Response, Transaction
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.netsim.transport import OriginMap, Transport
+from repro.proxy.cache import PrefetchCache
+from repro.proxy.config import ProxyConfig, default_config
+from repro.proxy.learning import DynamicLearner
+from repro.proxy.prefetcher import Prefetcher, origin_fetch
+
+#: proxy-internal per-request processing time (lookup, learning)
+PROXY_PROCESSING = 0.002
+
+
+class AccelerationProxy:
+    """One APPx-generated proxy instance for one target app."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        origins: OriginMap,
+        analysis: AnalysisResult,
+        config: Optional[ProxyConfig] = None,
+        learner: Optional[DynamicLearner] = None,
+        seed: int = 0,
+    ) -> None:
+        self.sim = sim
+        self.origins = origins
+        self.analysis = analysis
+        self.config = config if config is not None else default_config(analysis)
+        self.learner = learner if learner is not None else DynamicLearner(analysis)
+        if self.learner.max_depth is None:
+            self.learner.max_depth = self.config.max_chain_depth
+        self.cache = PrefetchCache()
+        self.prefetcher = Prefetcher(
+            sim, origins, self.cache, self.config, self.learner, seed=seed
+        )
+        self.served_prefetched = 0
+        self.forwarded = 0
+        self.client_bytes = 0
+        self.server_bytes = 0  # demand (non-prefetch) proxy↔server bytes
+        #: optional hook fired on every cache hit: (user, site, request)
+        #: — used by the §5 refresher to track consumed prefetches
+        self.on_cache_hit = None
+
+    # ------------------------------------------------------------------
+    def handle_request(self, request: Request, user: str) -> Generator:
+        """Process: Fig. 10's per-request workflow; returns Response."""
+        self.client_bytes += request.wire_size()
+        signature = self.learner.signature_for(request)
+        site = signature.site if signature else None
+        entry = self.cache.get(user, request, self.sim.now)
+        started_at = self.sim.now
+        if entry is not None:
+            yield Delay(PROXY_PROCESSING)
+            entry.served = True
+            self.served_prefetched += 1
+            if site:
+                self.cache.record_hit(site)
+                if self.on_cache_hit is not None:
+                    self.on_cache_hit(user, site, request)
+            response = entry.response
+            prefetched = True
+        else:
+            if site and signature.is_successor:
+                self.cache.record_miss(site)
+            response, transferred = yield self.sim.spawn(
+                origin_fetch(self.sim, self.origins, request, user)
+            )
+            self.server_bytes += transferred
+            self.forwarded += 1
+            prefetched = False
+        self.client_bytes += response.wire_size()
+        # §6.3 extension: record which items the client actually views,
+        # so popularity policies can trim the prefetch long tail
+        if signature is not None and signature.is_successor:
+            self.prefetcher.popularity.record_request(signature, request)
+        transaction = Transaction(
+            request,
+            response,
+            started_at,
+            self.sim.now,
+            user=user,
+            prefetched=prefetched,
+        )
+        for ready in self.learner.observe(transaction, user, depth=0):
+            self.prefetcher.submit(ready)
+        return response
+
+    # ------------------------------------------------------------------
+    def total_server_bytes(self) -> int:
+        """All proxy↔server traffic: demand plus prefetch."""
+        return self.server_bytes + self.prefetcher.prefetch_bytes
+
+    def stats(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "served_prefetched": self.served_prefetched,
+            "forwarded": self.forwarded,
+            "client_bytes": self.client_bytes,
+            "server_bytes_demand": self.server_bytes,
+            "server_bytes_total": self.total_server_bytes(),
+            "cache_entries": len(self.cache),
+        }
+        data.update(self.prefetcher.stats())
+        return data
+
+
+class ProxiedTransport(Transport):
+    """Client ↔ proxy ↔ origin: the accelerated topology."""
+
+    def __init__(
+        self, sim: Simulator, access_link: Link, proxy: AccelerationProxy
+    ) -> None:
+        self.sim = sim
+        self.access_link = access_link
+        self.proxy = proxy
+
+    def send(self, request: Request, user: str) -> Generator:
+        request_size = request.wire_size()
+        yield Delay(self.access_link.transfer_delay(self.sim.now, request_size))
+        response = yield self.sim.spawn(self.proxy.handle_request(request, user))
+        response_size = response.wire_size()
+        yield Delay(self.access_link.transfer_delay(self.sim.now, response_size))
+        return response

@@ -1,0 +1,104 @@
+"""Periodic prefetch refresh (§5).
+
+The paper's prefetching thread "determines whether to issue a request
+according to the frequency specified in the configuration".  The
+:class:`Refresher` is that loop: for the duration it runs, it
+periodically re-issues each signature's known prefetch requests so the
+cache stays fresh across expirations — useful for long-lived sessions
+where a user returns to a page after the original prefetch went stale.
+
+The refresh interval per signature defaults to half the policy's
+expiration time (re-fetch before the entry can expire) and never drops
+below ``min_interval``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Tuple
+
+from repro.httpmsg.message import Request, Transaction
+from repro.netsim.sim import Delay, Simulator
+from repro.proxy.prefetcher import origin_fetch
+from repro.proxy.proxy import AccelerationProxy
+
+
+class Refresher:
+    """Keeps prefetched entries fresh for the time it runs."""
+
+    def __init__(
+        self,
+        proxy: AccelerationProxy,
+        min_interval: float = 5.0,
+        max_requests_per_cycle: int = 64,
+    ) -> None:
+        self.proxy = proxy
+        self.min_interval = min_interval
+        self.max_requests_per_cycle = max_requests_per_cycle
+        self.refreshed = 0
+        self.cycles = 0
+        #: requests eligible for refresh: (user, site) -> Request
+        self._known: Dict[Tuple[str, str], Request] = {}
+
+    # ------------------------------------------------------------------
+    def note_served(self, user: str, site: str, request: Request) -> None:
+        """Remember a request worth keeping fresh (a proven cache hit).
+
+        Install as ``proxy.on_cache_hit = refresher.note_served`` —
+        refreshing only *consumed* prefetches avoids spending data on
+        entries no user ever looked at.
+        """
+        self._known[(user, site)] = request.copy()
+
+    @property
+    def tracked(self) -> int:
+        return len(self._known)
+
+    def interval_for(self, site: str) -> float:
+        expiration = self.proxy.config.policy(site).expiration_time
+        return max(self.min_interval, expiration / 2.0)
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> Generator:
+        """Simulator process: refresh cycles until ``duration`` elapses."""
+        sim = self.proxy.sim
+        started_at = sim.now
+        last_refreshed: Dict[Tuple[str, str], float] = {}
+        while sim.now - started_at < duration:
+            yield Delay(self.min_interval)
+            self.cycles += 1
+            issued = 0
+            for (user, site), request in list(self._known.items()):
+                if issued >= self.max_requests_per_cycle:
+                    break
+                interval = self.interval_for(site)
+                last = last_refreshed.get((user, site), -1e18)
+                if sim.now - last < interval:
+                    continue
+                if not self.proxy.config.policy(site).prefetch:
+                    continue
+                last_refreshed[(user, site)] = sim.now
+                issued += 1
+                yield sim.spawn(self._refresh_one(user, site, request))
+        return self.refreshed
+
+    def _refresh_one(self, user: str, site: str, request: Request) -> Generator:
+        sim = self.proxy.sim
+        started_at = sim.now
+        response, transferred = yield sim.spawn(
+            origin_fetch(sim, self.proxy.origins, request, user)
+        )
+        self.proxy.prefetcher.prefetch_bytes += transferred
+        if response.ok:
+            policy = self.proxy.config.policy(site)
+            self.proxy.cache.put(
+                user, request, response, site,
+                now=sim.now, ttl=policy.expiration_time,
+            )
+            self.refreshed += 1
+            # refreshed responses keep feeding the learner (chains)
+            transaction = Transaction(
+                request, response, started_at, sim.now, user=user, prefetched=True
+            )
+            for ready in self.proxy.learner.observe(transaction, user, depth=1):
+                self.proxy.prefetcher.submit(ready)
+        return None

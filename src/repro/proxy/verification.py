@@ -1,0 +1,132 @@
+"""Testing & verification phase (§4.3, Fig. 4 phase 2).
+
+Before deployment:
+
+1. **Fuzz-driven validation** — a Monkey event stream drives the app
+   through the proxy against the (sandbox) origin servers.  Signatures
+   whose reconstructed prefetch requests only ever produced errors or
+   timeouts, and signatures whose instances never resolved all
+   run-time values, are disabled in the configuration.
+2. **Expiration estimation** — per prefetchable signature, the probe
+   re-fetches a sample request with doubling gaps until the response
+   differs; the last stable period becomes the signature's default
+   ``expiration_time``.
+
+The output is the *initial configuration* a service provider would then
+customize (§4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from repro.analysis.model import AnalysisResult
+from repro.apk.program import ApkFile
+from repro.device.fuzzing import MonkeyFuzzer
+from repro.device.profile import DeviceProfile
+from repro.device.runtime import AppRuntime
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.netsim.transport import OriginMap
+from repro.proxy.config import ProxyConfig, default_config
+from repro.proxy.prefetcher import origin_fetch
+from repro.proxy.proxy import AccelerationProxy, ProxiedTransport
+
+INITIAL_PROBE_PERIOD = 60.0
+MAX_PROBE_PERIOD = 7200.0
+
+
+class VerificationReport:
+    """What the verification phase found."""
+
+    def __init__(self) -> None:
+        self.disabled: Dict[str, str] = {}
+        self.expiry_estimates: Dict[str, float] = {}
+        self.fuzz_interactions = 0
+        self.prefetch_successes: Dict[str, int] = {}
+        self.prefetch_errors: Dict[str, int] = {}
+        self.unresolved_sites: Dict[str, int] = {}
+        #: app-level learned values to seed the deployed proxy with
+        self.seed_store = None
+
+    def __repr__(self) -> str:
+        return "VerificationReport({} disabled, {} expiry estimates)".format(
+            len(self.disabled), len(self.expiry_estimates)
+        )
+
+
+def run_verification(
+    apk: ApkFile,
+    analysis: AnalysisResult,
+    build_origin_map: Callable[[Simulator], OriginMap],
+    profile: Optional[DeviceProfile] = None,
+    fuzz_duration: float = 120.0,
+    seed: int = 1,
+    access_rtt: float = 0.055,
+    config: Optional[ProxyConfig] = None,
+    estimate_expiry: bool = True,
+) -> Tuple[ProxyConfig, VerificationReport]:
+    """Run phase 2 in a sandbox simulation; returns (config, report)."""
+    report = VerificationReport()
+    config = config if config is not None else default_config(analysis)
+    sim = Simulator()
+    origins = build_origin_map(sim)
+    proxy = AccelerationProxy(sim, origins, analysis, config=config, seed=seed)
+    transport = ProxiedTransport(sim, Link(rtt=access_rtt, shared=True), proxy)
+    runtime = AppRuntime(
+        apk,
+        transport,
+        sim,
+        profile if profile is not None else DeviceProfile(user="verify-user"),
+    )
+    fuzzer = MonkeyFuzzer(runtime, seed=seed)
+    results = sim.run_process(fuzzer.run(fuzz_duration))
+    report.fuzz_interactions = len(results)
+    report.prefetch_successes = dict(proxy.prefetcher.success_by_site)
+    report.prefetch_errors = dict(proxy.prefetcher.error_by_site)
+    report.seed_store = proxy.learner.store.global_snapshot()
+
+    # disable signatures whose reconstructions only ever failed
+    for signature in analysis.prefetchable():
+        site = signature.site
+        successes = proxy.prefetcher.success_by_site.get(site, 0)
+        errors = proxy.prefetcher.error_by_site.get(site, 0)
+        if errors and not successes:
+            reason = "verification: {} failed prefetches, none succeeded".format(errors)
+            config.disable(site, reason)
+            report.disabled[site] = reason
+    # signatures whose instances never resolved all run-time values
+    for instance in proxy.learner._pending:
+        site = instance.signature.site
+        report.unresolved_sites[site] = report.unresolved_sites.get(site, 0) + 1
+
+    if estimate_expiry:
+        for site, request in sorted(proxy.prefetcher.sample_requests.items()):
+            if not config.policy(site).prefetch:
+                continue
+            estimate = sim.run_process(
+                _estimate_expiry(sim, origins, request, user="verify-user")
+            )
+            report.expiry_estimates[site] = estimate
+            config.policy(site).expiration_time = estimate
+    return config, report
+
+
+def _estimate_expiry(
+    sim: Simulator, origins: OriginMap, request, user: str
+) -> Generator:
+    """Doubling probe: the last period with an unchanged response."""
+    baseline, _ = yield sim.spawn(origin_fetch(sim, origins, request, user))
+    period = INITIAL_PROBE_PERIOD
+    while period < MAX_PROBE_PERIOD:
+        yield Delay(period)
+        probe, _ = yield sim.spawn(origin_fetch(sim, origins, request, user))
+        if _body_differs(baseline, probe):
+            return period
+        baseline = probe
+        period *= 2.0
+    return MAX_PROBE_PERIOD
+
+
+def _body_differs(a, b) -> bool:
+    return a.body.to_wire() != b.body.to_wire()

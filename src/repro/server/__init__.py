@@ -1,0 +1,13 @@
+"""Origin-server simulation.
+
+Each evaluated app gets a REST backend (:mod:`repro.server.backends`)
+built on :class:`OriginServer`: deterministic content from
+:class:`~repro.server.content.Catalog`, per-route service times,
+session cookies, content rotation (so prefetched responses can go
+stale), and fault injection for the verification-phase tests.
+"""
+
+from repro.server.content import Catalog
+from repro.server.origin import OriginServer, Route
+
+__all__ = ["Catalog", "OriginServer", "Route"]

@@ -1,0 +1,21 @@
+"""Per-app origin-server backends."""
+
+from repro.server.backends.wish import build_wish_api, build_wish_images
+from repro.server.backends.geek import build_geek_api, build_geek_images
+from repro.server.backends.doordash import build_doordash_api
+from repro.server.backends.purpleocean import (
+    build_purpleocean_api,
+    build_purpleocean_media,
+)
+from repro.server.backends.postmates import build_postmates_api
+
+__all__ = [
+    "build_wish_api",
+    "build_wish_images",
+    "build_geek_api",
+    "build_geek_images",
+    "build_doordash_api",
+    "build_purpleocean_api",
+    "build_purpleocean_media",
+    "build_postmates_api",
+]

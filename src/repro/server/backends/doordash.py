@@ -1,0 +1,91 @@
+"""DoorDash backend — food delivery (Fig. 11's successive chain).
+
+Single API origin (145 ms RTT in Table 2) serving the store list, each
+store's menu and schedule, per-item details, options, suggestions, and
+store images.
+"""
+
+from __future__ import annotations
+
+from repro.httpmsg.body import BlobBody
+from repro.httpmsg.message import Request, Response
+from repro.netsim.sim import Simulator
+from repro.server.content import Catalog, filler
+from repro.server.origin import OriginServer
+
+STORE_IMAGE_BYTES = 90_000
+MENU_PAD_BYTES = 6_000
+
+
+def _stores(server: OriginServer, request: Request, user: str) -> Response:
+    region = request.uri.query_get("region", "sf")
+    stores = [
+        server.catalog.restaurant("doordash", store_id)
+        for store_id in server.catalog.restaurant_ids("doordash", region)
+    ]
+    return server.json({"stores": stores})
+
+
+def _menu(server: OriginServer, request: Request, user: str) -> Response:
+    store_id = request._captures.get("sid", "")
+    menu = server.catalog.menu("doordash", store_id)
+    menu["disclaimer"] = filler("dd-menu-{}".format(store_id), MENU_PAD_BYTES)
+    return server.json({"menu": menu})
+
+
+def _schedule(server: OriginServer, request: Request, user: str) -> Response:
+    store_id = request._captures.get("sid", "")
+    return server.json({"schedule": server.catalog.schedule("doordash", store_id)})
+
+
+def _menu_item(server: OriginServer, request: Request, user: str) -> Response:
+    item_id = request.body.get("item_id", "") if request.body.kind == "form" else ""
+    return server.json({"item": server.catalog.menu_item("doordash", item_id)})
+
+
+def _options(server: OriginServer, request: Request, user: str) -> Response:
+    group_id = request.uri.query_get("gid", "")
+    return server.json(server.catalog.option_group("doordash", group_id))
+
+
+def _suggestions(server: OriginServer, request: Request, user: str) -> Response:
+    item_id = request.uri.query_get("menu_item_id", "")
+    suggestions = [
+        {"id": sid, "name": server.catalog.menu_item("doordash", sid)["name"]}
+        for sid in server.catalog.suggestions("doordash", item_id)
+    ]
+    return server.json({"suggestions": suggestions})
+
+
+def _store_image(server: OriginServer, request: Request, user: str) -> Response:
+    store_id = request._captures.get("sid", "").split(".")[0]
+    size = server.catalog.image_size(
+        "doordash", "store-{}".format(store_id), STORE_IMAGE_BYTES
+    )
+    return Response(200, body=BlobBody("dd-store-{}".format(store_id), size))
+
+
+def _offers(server: OriginServer, request: Request, user: str) -> Response:
+    from repro.server.content import stable_id
+
+    offers = [{"id": stable_id("doordash", "offer", i), "pct": 10 + i} for i in range(3)]
+    return server.json({"offers": offers})
+
+
+def _offer(server: OriginServer, request: Request, user: str) -> Response:
+    oid = request.uri.query_get("oid", "")
+    return server.json({"offer": {"id": oid, "terms": "weekday lunch only"}})
+
+
+def build_doordash_api(sim: Simulator, catalog: Catalog) -> OriginServer:
+    server = OriginServer(sim, "https://api.doordash.com", catalog)
+    server.route("GET", "/v2/stores", _stores, service_time=0.35, name="stores")
+    server.route("GET", "/v2/store/<sid>/menu", _menu, service_time=0.30, name="menu")
+    server.route("GET", "/v2/store/<sid>/schedule", _schedule, service_time=0.15, name="schedule")
+    server.route("POST", "/v2/menu-item", _menu_item, service_time=0.20, name="menu-item")
+    server.route("GET", "/v2/options", _options, service_time=0.10, name="options")
+    server.route("GET", "/v2/suggestions", _suggestions, service_time=0.15, name="suggestions")
+    server.route("GET", "/store-img/<sid>", _store_image, service_time=0.006, name="store-img")
+    server.route("GET", "/v2/offers", _offers, service_time=0.05, name="offers")
+    server.route("GET", "/v2/offer", _offer, service_time=0.04, name="offer")
+    return server

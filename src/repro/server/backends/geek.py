@@ -1,0 +1,115 @@
+"""Geek backend — Wish's sibling shopping app (same operator).
+
+Same overall API shape as Wish with different endpoint names, plus a
+wishlist endpoint (side-effecting).  Product images are the same
+~315 KB class the paper calls out for both shopping apps.
+"""
+
+from __future__ import annotations
+
+from repro.httpmsg.body import BlobBody
+from repro.httpmsg.message import Request, Response
+from repro.netsim.sim import Simulator
+from repro.server.content import Catalog, filler
+from repro.server.origin import OriginServer
+
+FEED_COUNT = 30
+THUMB_BYTES = 38_000
+PRODUCT_IMAGE_BYTES = 315_000
+DETAIL_PAD_BYTES = 9_000
+
+
+def _feed(server: OriginServer, request: Request, user: str) -> Response:
+    version = server.content_version()
+    products = []
+    for product_id in server.catalog.product_ids("geek", version, count=FEED_COUNT, user=user):
+        product = server.catalog.product("geek", product_id)
+        products.append(
+            {
+                "id": product["id"],
+                "name": product["name"],
+                "price": product["price"],
+                "merchant_name": product["merchant_name"],
+            }
+        )
+    return server.json({"feed": {"items": products, "version": version}})
+
+
+def _product(server: OriginServer, request: Request, user: str) -> Response:
+    pid = request.body.get("pid", "") if request.body.kind == "form" else ""
+    product = server.catalog.product("geek", pid)
+    return server.json(
+        {
+            "product": {
+                "id": product["id"],
+                "name": product["name"],
+                "price": product["price"],
+                "rating": product["rating"],
+                "merchant_name": product["merchant_name"],
+                "num_bought": product["num_bought"],
+                "details": filler("geek-detail-{}".format(pid), DETAIL_PAD_BYTES),
+            }
+        }
+    )
+
+
+def _related(server: OriginServer, request: Request, user: str) -> Response:
+    pid = request.body.get("pid", "") if request.body.kind == "form" else ""
+    related = [
+        {"id": rid, "price": server.catalog.product("geek", rid)["price"]}
+        for rid in server.catalog.related_product_ids("geek", pid)
+    ]
+    return server.json({"related": related})
+
+
+def _reviews(server: OriginServer, request: Request, user: str) -> Response:
+    pid = request.uri.query_get("pid", "")
+    ratings = server.catalog.merchant_ratings("geek", pid)
+    return server.json({"reviews": ratings["recent"], "average": ratings["average"]})
+
+
+def _wishlist_add(server: OriginServer, request: Request, user: str) -> Response:
+    server.requests_by_route["wishlist-adds"] = (
+        server.requests_by_route.get("wishlist-adds", 0) + 1
+    )
+    return server.json({"ok": True})
+
+
+def _push_config(server: OriginServer, request: Request, user: str) -> Response:
+    return server.json({"channel": "geek-deals-{}".format(user)})
+
+
+def _push_subscribe(server: OriginServer, request: Request, user: str) -> Response:
+    channel = request.uri.query_get("ch", "")
+    return server.json({"subscribed": True, "channel": channel})
+
+
+def build_geek_api(sim: Simulator, catalog: Catalog) -> OriginServer:
+    server = OriginServer(sim, "https://api.geek.com", catalog)
+    server.route("POST", "/api/feed", _feed, service_time=0.30, name="feed")
+    server.route("POST", "/api/product", _product, service_time=0.35, name="product")
+    server.route("POST", "/api/related", _related, service_time=0.20, name="related")
+    server.route("GET", "/api/reviews", _reviews, service_time=0.20, name="reviews")
+    server.route("POST", "/api/wishlist/add", _wishlist_add, service_time=0.03, name="wishlist-add")
+    server.route("GET", "/api/push-config", _push_config, service_time=0.04, name="push-config")
+    server.route("GET", "/api/push/subscribe", _push_subscribe, service_time=0.04, name="push-subscribe")
+    return server
+
+
+def _thumb(server: OriginServer, request: Request, user: str) -> Response:
+    pid = request.uri.query_get("pid", "")
+    size = server.catalog.image_size("geek", "thumb-{}".format(pid), THUMB_BYTES)
+    return Response(200, body=BlobBody("geek-thumb-{}".format(pid), size))
+
+
+def _product_image(server: OriginServer, request: Request, user: str) -> Response:
+    pid = request.uri.query_get("pid", "")
+    size = server.catalog.image_size("geek", "product-{}".format(pid), PRODUCT_IMAGE_BYTES)
+    return Response(200, body=BlobBody("geek-product-{}".format(pid), size))
+
+
+def build_geek_images(sim: Simulator, catalog: Catalog) -> OriginServer:
+    server = OriginServer(sim, "https://img.geek.com", catalog)
+    server.route("GET", "/t", _thumb, service_time=0.004, name="thumb")
+    server.route("GET", "/p", _product_image, service_time=0.008, name="product-img")
+    return server

@@ -1,0 +1,99 @@
+"""Postmates backend — food delivery with a nearby origin (5 ms RTT).
+
+Table 2 gives Postmates the shortest origin RTT; the paper notes its
+restaurant images are large (~168 KB) while the prefetched menu/info
+responses are small (~7 KB), which is why its data-usage overhead is
+only 8%.  The deep drill-down (feed → restaurant → item → options →
+pairings) yields the longest dependency chains in Table 3.
+"""
+
+from __future__ import annotations
+
+from repro.httpmsg.body import BlobBody
+from repro.httpmsg.message import Request, Response
+from repro.netsim.sim import Simulator
+from repro.server.content import Catalog, filler
+from repro.server.origin import OriginServer
+
+RESTAURANT_IMAGE_BYTES = 168_000
+MENU_PAD_BYTES = 5_000
+
+
+def _feed(server: OriginServer, request: Request, user: str) -> Response:
+    region = request.uri.query_get("market", "sf")
+    restaurants = [
+        server.catalog.restaurant("postmates", store_id)
+        for store_id in server.catalog.restaurant_ids("postmates", region, count=8)
+    ]
+    return server.json({"feed": restaurants})
+
+
+def _restaurant(server: OriginServer, request: Request, user: str) -> Response:
+    store_id = request.uri.query_get("rid", "")
+    info = server.catalog.restaurant("postmates", store_id)
+    menu = server.catalog.menu("postmates", store_id)
+    menu["notes"] = filler("pm-menu-{}".format(store_id), MENU_PAD_BYTES)
+    return server.json({"info": info, "menu": menu})
+
+
+def _eta(server: OriginServer, request: Request, user: str) -> Response:
+    store_id = request.uri.query_get("rid", "")
+    info = server.catalog.restaurant("postmates", store_id)
+    return server.json(
+        {"rid": store_id, "eta_minutes": info["eta_minutes"], "surge": False}
+    )
+
+
+def _item(server: OriginServer, request: Request, user: str) -> Response:
+    item_id = request.uri.query_get("iid", "")
+    return server.json({"item": server.catalog.menu_item("postmates", item_id)})
+
+
+def _options(server: OriginServer, request: Request, user: str) -> Response:
+    group_id = request.uri.query_get("gid", "")
+    return server.json(server.catalog.option_group("postmates", group_id))
+
+
+def _pairings(server: OriginServer, request: Request, user: str) -> Response:
+    item_id = request.uri.query_get("iid", "")
+    pairings = [
+        {"id": sid, "name": server.catalog.menu_item("postmates", sid)["name"]}
+        for sid in server.catalog.suggestions("postmates", item_id, count=4)
+    ]
+    return server.json({"pairings": pairings})
+
+
+def _restaurant_image(server: OriginServer, request: Request, user: str) -> Response:
+    store_id = request._captures.get("rid", "").split(".")[0]
+    size = server.catalog.image_size(
+        "postmates", "store-{}".format(store_id), RESTAURANT_IMAGE_BYTES
+    )
+    return Response(200, body=BlobBody("pm-store-{}".format(store_id), size))
+
+
+def _promos(server: OriginServer, request: Request, user: str) -> Response:
+    from repro.server.content import stable_id
+
+    promos = [{"id": stable_id("postmates", "promo", i)} for i in range(2)]
+    return server.json({"promos": promos})
+
+
+def _promo(server: OriginServer, request: Request, user: str) -> Response:
+    pid = request.uri.query_get("pid", "")
+    return server.json({"promo": {"id": pid, "text": "free delivery"}})
+
+
+def build_postmates_api(sim: Simulator, catalog: Catalog) -> OriginServer:
+    server = OriginServer(sim, "https://api.postmates.com", catalog)
+    server.route("GET", "/v1/feed", _feed, service_time=0.25, name="feed")
+    server.route("GET", "/v1/restaurant", _restaurant, service_time=0.30, name="restaurant")
+    server.route("GET", "/v1/eta", _eta, service_time=0.12, name="eta")
+    server.route("GET", "/v1/item", _item, service_time=0.15, name="item")
+    server.route("GET", "/v1/options", _options, service_time=0.10, name="options")
+    server.route("GET", "/v1/pairings", _pairings, service_time=0.10, name="pairings")
+    server.route(
+        "GET", "/store-img/<rid>", _restaurant_image, service_time=0.006, name="store-img"
+    )
+    server.route("GET", "/v1/promos", _promos, service_time=0.04, name="promos")
+    server.route("GET", "/v1/promo", _promo, service_time=0.03, name="promo")
+    return server

@@ -1,0 +1,106 @@
+"""Purple Ocean backend — psychic reading.
+
+The API origin sits far away (230 ms RTT, the largest in Table 2); a
+separate nearby media origin (15 ms) serves advisor profile images and
+video still frames — the three transactions Table 2 lists for the main
+interaction.
+"""
+
+from __future__ import annotations
+
+from repro.httpmsg.body import BlobBody
+from repro.httpmsg.message import Request, Response
+from repro.netsim.sim import Simulator
+from repro.server.content import Catalog, filler
+from repro.server.origin import OriginServer
+
+PROFILE_IMAGE_BYTES = 18_000
+VIDEO_STILL_BYTES = 26_000
+LIST_THUMB_BYTES = 9_000
+ADVISOR_PAD_BYTES = 4_000
+
+
+def _advisors(server: OriginServer, request: Request, user: str) -> Response:
+    advisors = [
+        {
+            "id": advisor_id,
+            "login": "mystic_{}".format(advisor_id),
+            "name": server.catalog.advisor("purpleocean", advisor_id)["name"],
+        }
+        for advisor_id in server.catalog.advisor_ids("purpleocean")
+    ]
+    return server.json({"advisors": advisors})
+
+
+def _advisor(server: OriginServer, request: Request, user: str) -> Response:
+    advisor_id = request.uri.query_get("aid", "")
+    advisor = server.catalog.advisor("purpleocean", advisor_id)
+    advisor["bio"] = filler("po-bio-{}".format(advisor_id), ADVISOR_PAD_BYTES)
+    return server.json({"advisor": advisor})
+
+
+def _start_reading(server: OriginServer, request: Request, user: str) -> Response:
+    server.requests_by_route["readings-started"] = (
+        server.requests_by_route.get("readings-started", 0) + 1
+    )
+    advisor_id = request.body.get("aid", "") if request.body.kind == "form" else ""
+    return server.json({"session": "rd-{}-{}".format(user, advisor_id), "ok": True})
+
+
+def _horoscope(server: OriginServer, request: Request, user: str) -> Response:
+    from repro.server.content import stable_id
+
+    signs = ["aries", "leo", "virgo", "pisces", "gemini"]
+    sign = signs[int(stable_id("po", "sign", user), 16) % len(signs)]
+    return server.json({"sign": sign})
+
+
+def _horoscope_detail(server: OriginServer, request: Request, user: str) -> Response:
+    sign = request.uri.query_get("sign", "")
+    return server.json({"sign": sign, "reading": filler("po-horo-{}".format(sign), 800)})
+
+
+def build_purpleocean_api(sim: Simulator, catalog: Catalog) -> OriginServer:
+    server = OriginServer(sim, "https://api.purpleocean.com", catalog)
+    server.route("GET", "/api/advisors", _advisors, service_time=0.30, name="advisors")
+    server.route("GET", "/api/advisor", _advisor, service_time=0.35, name="advisor")
+    server.route(
+        "POST", "/api/reading/start", _start_reading, service_time=0.05, name="reading-start"
+    )
+    server.route("GET", "/api/horoscope", _horoscope, service_time=0.05, name="horoscope")
+    server.route(
+        "GET", "/api/horoscope/detail", _horoscope_detail, service_time=0.05, name="horoscope-detail"
+    )
+    return server
+
+
+def _profile_image(server: OriginServer, request: Request, user: str) -> Response:
+    advisor_id = request._captures.get("aid", "").split(".")[0]
+    size = server.catalog.image_size(
+        "purpleocean", "profile-{}".format(advisor_id), PROFILE_IMAGE_BYTES
+    )
+    return Response(200, body=BlobBody("po-profile-{}".format(advisor_id), size))
+
+
+def _video_still(server: OriginServer, request: Request, user: str) -> Response:
+    advisor_id = request._captures.get("aid", "").split(".")[0]
+    size = server.catalog.image_size(
+        "purpleocean", "still-{}".format(advisor_id), VIDEO_STILL_BYTES
+    )
+    return Response(200, body=BlobBody("po-still-{}".format(advisor_id), size))
+
+
+def _list_thumb(server: OriginServer, request: Request, user: str) -> Response:
+    advisor_id = request.uri.query_get("aid", "")
+    size = server.catalog.image_size(
+        "purpleocean", "thumb-{}".format(advisor_id), LIST_THUMB_BYTES
+    )
+    return Response(200, body=BlobBody("po-thumb-{}".format(advisor_id), size))
+
+
+def build_purpleocean_media(sim: Simulator, catalog: Catalog) -> OriginServer:
+    server = OriginServer(sim, "https://media.purpleocean.com", catalog)
+    server.route("GET", "/media/profile/<aid>", _profile_image, service_time=0.004, name="profile")
+    server.route("GET", "/media/still/<aid>", _video_still, service_time=0.004, name="still")
+    server.route("GET", "/media/thumb", _list_thumb, service_time=0.003, name="thumb")
+    return server

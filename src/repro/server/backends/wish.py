@@ -1,0 +1,169 @@
+"""Wish backend: the paper's working example (#1 shopping app).
+
+API origin serves the feed, product details, related items, merchant
+pages, ratings, and the cart; the image origin serves thumbnails
+(~42 KB), product images (~315 KB — the size the paper cites), and
+merchant profile images.
+"""
+
+from __future__ import annotations
+
+from repro.httpmsg.body import BlobBody
+from repro.httpmsg.message import Request, Response
+from repro.netsim.sim import Simulator
+from repro.server.content import Catalog, filler
+from repro.server.origin import OriginServer
+
+FEED_COUNT = 30
+THUMB_BYTES = 42_000
+PRODUCT_IMAGE_BYTES = 315_000
+MERCHANT_IMAGE_BYTES = 30_000
+DETAIL_PAD_BYTES = 10_000
+
+
+def _feed(server: OriginServer, request: Request, user: str) -> Response:
+    count = FEED_COUNT
+    if request.body.kind == "form":
+        try:
+            count = int(request.body.get("count", str(FEED_COUNT)))
+        except (TypeError, ValueError):
+            count = FEED_COUNT
+    version = server.content_version()
+    products = []
+    for product_id in server.catalog.product_ids("wish", version, count=count, user=user):
+        product = server.catalog.product("wish", product_id)
+        products.append(
+            {
+                "aspect_rat": product["aspect_rat"],
+                "product_info": {
+                    "id": product["id"],
+                    "name": product["name"],
+                    "price": product["price"],
+                    "can_ship": product["can_ship"],
+                    "merchant_name": product["merchant_name"],
+                },
+            }
+        )
+    return server.json({"data": {"products": products, "feed_version": version}})
+
+
+def _product_detail(server: OriginServer, request: Request, user: str) -> Response:
+    cid = request.body.get("cid", "") if request.body.kind == "form" else ""
+    product = server.catalog.product("wish", cid)
+    payload = {
+        "data": {
+            "contest": {
+                "id": product["id"],
+                "name": product["name"],
+                "price": product["price"],
+                "merchant_name": product["merchant_name"],
+                "rating": product["rating"],
+                "num_bought": product["num_bought"],
+                "shipping": "standard" if product["can_ship"] else "none",
+                "cache": server.content_version(),
+                "info": filler("wish-detail-{}".format(cid), DETAIL_PAD_BYTES),
+            }
+        }
+    }
+    return server.json(payload)
+
+
+def _related(server: OriginServer, request: Request, user: str) -> Response:
+    cid = request.body.get("cid", "") if request.body.kind == "form" else ""
+    related = [
+        {
+            "id": rid,
+            "name": server.catalog.product("wish", rid)["name"],
+            "price": server.catalog.product("wish", rid)["price"],
+        }
+        for rid in server.catalog.related_product_ids("wish", cid)
+    ]
+    return server.json({"related": related})
+
+
+def _merchant(server: OriginServer, request: Request, user: str) -> Response:
+    name = request.uri.query_get("q", "")
+    merchant = server.catalog.merchant("wish", name)
+    return server.json({"merchant": merchant})
+
+
+def _ratings(server: OriginServer, request: Request, user: str) -> Response:
+    merchant_id = request.uri.query_get("id", "")
+    return server.json(server.catalog.merchant_ratings("wish", merchant_id))
+
+
+def _cart_add(server: OriginServer, request: Request, user: str) -> Response:
+    cid = request.body.get("cid", "") if request.body.kind == "form" else ""
+    server.requests_by_route["cart-adds"] = (
+        server.requests_by_route.get("cart-adds", 0) + 1
+    )
+    return server.json({"ok": True, "cid": cid, "cart_size": 1})
+
+
+def _notifications(server: OriginServer, request: Request, user: str) -> Response:
+    notes = [
+        {"id": nid, "promo_id": stable_promo(nid)}
+        for nid in server.catalog.advisor_ids("wish-notes", count=4)
+    ]
+    return server.json({"notes": notes})
+
+
+def stable_promo(note_id: str) -> str:
+    from repro.server.content import stable_id
+
+    return stable_id("wish", "promo", note_id)
+
+
+def _promo(server: OriginServer, request: Request, user: str) -> Response:
+    pid = request.uri.query_get("pid", "")
+    return server.json({"promo": {"id": pid, "discount": 15, "headline": "Deal!"}})
+
+
+def build_wish_api(sim: Simulator, catalog: Catalog) -> OriginServer:
+    server = OriginServer(sim, "https://api.wish.com", catalog)
+    server.route("POST", "/api/get-feed", _feed, service_time=0.30, name="get-feed")
+    server.route("POST", "/product/get", _product_detail, service_time=0.35, name="product-get")
+    server.route("POST", "/related/get", _related, service_time=0.20, name="related-get")
+    server.route("GET", "/api/merchant", _merchant, service_time=0.25, name="merchant")
+    server.route("GET", "/api/ratings/get", _ratings, service_time=0.15, name="ratings")
+    server.route("POST", "/cart/add", _cart_add, service_time=0.10, name="cart-add")
+    server.route("GET", "/api/notifications", _notifications, service_time=0.05, name="notifications")
+    server.route("GET", "/api/promo", _promo, service_time=0.05, name="promo")
+    return server
+
+
+def _thumbnail(server: OriginServer, request: Request, user: str) -> Response:
+    cid = request.uri.query_get("cid", "")
+    size = server.catalog.image_size("wish", "thumb-{}".format(cid), THUMB_BYTES)
+    return Response(200, body=BlobBody("wish-thumb-{}".format(cid), size))
+
+
+def _product_image(server: OriginServer, request: Request, user: str) -> Response:
+    cid = request.uri.query_get("cid", "")
+    size = server.catalog.image_size("wish", "product-{}".format(cid), PRODUCT_IMAGE_BYTES)
+    return Response(200, body=BlobBody("wish-product-{}".format(cid), size))
+
+
+def _merchant_image(server: OriginServer, request: Request, user: str) -> Response:
+    merchant_id = request._captures.get("mid", "").split(".")[0]
+    size = server.catalog.image_size(
+        "wish", "merchant-{}".format(merchant_id), MERCHANT_IMAGE_BYTES
+    )
+    return Response(200, body=BlobBody("wish-merchant-{}".format(merchant_id), size))
+
+
+def _promo_image(server: OriginServer, request: Request, user: str) -> Response:
+    pid = request.uri.query_get("pid", "")
+    size = server.catalog.image_size("wish", "promo-{}".format(pid), 24_000)
+    return Response(200, body=BlobBody("wish-promo-{}".format(pid), size))
+
+
+def build_wish_images(sim: Simulator, catalog: Catalog) -> OriginServer:
+    server = OriginServer(sim, "https://img.wish.com", catalog)
+    server.route("GET", "/img", _thumbnail, service_time=0.005, name="thumb")
+    server.route("GET", "/promo-img", _promo_image, service_time=0.005, name="promo-img")
+    server.route("GET", "/product-img", _product_image, service_time=0.008, name="product-img")
+    server.route(
+        "GET", "/merchant-img/<mid>", _merchant_image, service_time=0.005, name="merchant-img"
+    )
+    return server

@@ -1,0 +1,74 @@
+"""Every app's main interaction must accelerate through its proxy."""
+
+import pytest
+
+from repro.apps import all_apps
+from repro.experiments.scenario import Scenario, prepare_app
+from repro.netsim.sim import Delay
+
+APP_NAMES = list(all_apps())
+
+
+def run_main(scenario, user):
+    runtime = scenario.runtime(user)
+    spec = scenario.spec
+
+    def flow():
+        yield scenario.sim.spawn(runtime.launch())
+        result = None
+        for event, index in spec.main_flow:
+            yield Delay(6.0)
+            result = yield scenario.sim.spawn(runtime.dispatch(event, index))
+        return result
+
+    return scenario.sim.run_process(flow())
+
+
+@pytest.mark.parametrize("name", APP_NAMES, ids=str)
+def test_main_interaction_accelerates(name):
+    prepared = prepare_app(name)
+    spec = prepared.spec
+    orig = run_main(Scenario(prepared, proxied=False), "u1")
+    scenario = Scenario(
+        prepared, proxied=True, enabled_classes=spec.main_site_classes
+    )
+    appx = run_main(scenario, "u1")
+    assert appx.latency < orig.latency * 0.85, name
+    assert scenario.proxy.served_prefetched >= 1
+
+
+@pytest.mark.parametrize("name", APP_NAMES, ids=str)
+def test_acceleration_preserves_response_bodies(name):
+    """R3: identical responses with and without the proxy."""
+    prepared = prepare_app(name)
+    orig = run_main(Scenario(prepared, proxied=False), "u1")
+    appx = run_main(
+        Scenario(
+            prepared, proxied=True,
+            enabled_classes=prepared.spec.main_site_classes,
+        ),
+        "u1",
+    )
+    orig_bodies = {
+        t.request.uri.path: t.response.body.to_wire() for t in orig.transactions
+    }
+    appx_bodies = {
+        t.request.uri.path: t.response.body.to_wire() for t in appx.transactions
+    }
+    assert appx_bodies == orig_bodies, name
+
+
+@pytest.mark.parametrize("name", APP_NAMES, ids=str)
+def test_server_errors_forwarded_unchanged(name):
+    """A failing origin route reaches the client as-is (no masking)."""
+    prepared = prepare_app(name)
+    scenario = Scenario(prepared, proxied=True)
+    # break every route on every origin of this app
+    for server in scenario.servers.values():
+        for route in server.routes:
+            server.force_error(route.name, 503)
+    runtime = scenario.runtime("u1")
+    result = scenario.sim.run_process(runtime.launch())
+    statuses = {t.response.status for t in result.transactions}
+    assert statuses == {503}
+    assert len(scenario.proxy.cache) == 0  # nothing bad cached

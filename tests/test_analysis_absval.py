@@ -1,0 +1,107 @@
+"""Tests for the abstract value domain and template conversion."""
+
+from repro.analysis.absval import (
+    AConcat,
+    AConst,
+    AIntent,
+    AJson,
+    AList,
+    AObj,
+    AObs,
+    ARequest,
+    ARespHeader,
+    ARespJson,
+    AUnknown,
+    concat,
+    to_template,
+)
+from repro.analysis.model import ConstAtom, DepAtom, UnknownAtom
+
+
+def test_const_folding_in_concat():
+    value = concat(AConst("https://a.com"), AConst("/feed"))
+    assert isinstance(value, AConst)
+    assert value.value == "https://a.com/feed"
+
+
+def test_concat_flattens_nested():
+    inner = concat(AUnknown("env:config:host"), AConst("/x"))
+    outer = concat(inner, AConst("/y"))
+    assert isinstance(outer, AConcat)
+    assert len(outer.parts) == 3
+
+
+def test_to_template_const():
+    template = to_template(AConst("android"))
+    assert template.is_const()
+    assert template.const_value() == "android"
+
+
+def test_to_template_unknown_keeps_tag():
+    template = to_template(AUnknown("env:cookie"))
+    assert isinstance(template.atoms[0], UnknownAtom)
+    assert template.atoms[0].tag == "env:cookie"
+
+
+def test_to_template_response_field_becomes_dep():
+    value = ARespJson("pred#0", ("items", "[]", "id"))
+    template = to_template(value)
+    atom = template.atoms[0]
+    assert isinstance(atom, DepAtom)
+    assert atom.pred_site == "pred#0"
+
+
+def test_to_template_response_header_becomes_dep():
+    template = to_template(ARespHeader("pred#0", "ETag"))
+    atom = template.atoms[0]
+    assert isinstance(atom, DepAtom)
+    assert atom.pred_path.root == "header"
+
+
+def test_to_template_merges_adjacent_constants():
+    value = AConcat([AConst("a"), AConst("b"), AUnknown("t"), AConst("c")])
+    template = to_template(value)
+    kinds = [type(a).__name__ for a in template.atoms]
+    assert kinds == ["ConstAtom", "UnknownAtom", "ConstAtom"]
+    assert template.atoms[0].value == "ab"
+
+
+def test_to_template_complex_value_is_opaque():
+    template = to_template(AList([AConst(1)]))
+    assert isinstance(template.atoms[0], UnknownAtom)
+    assert template.atoms[0].tag.startswith("complex:")
+
+
+def test_obs_transparent_in_templates():
+    template = to_template(AObs(AConst("inner")))
+    assert template.const_value() == "inner"
+
+
+def test_clone_preserves_aliasing():
+    shared = AObj("Holder", "site")
+    shared.fields["x"] = AConst(1)
+    container = AJson({"a": shared, "b": shared})
+    memo = {}
+    cloned = container.clone(memo)
+    assert cloned.entries["a"] is cloned.entries["b"]  # aliasing kept
+    assert cloned.entries["a"] is not shared  # but deep-copied
+
+
+def test_clone_intent_and_request():
+    intent = AIntent({"k": AConst("v")})
+    cloned = intent.clone({})
+    assert cloned is not intent
+    assert cloned.extras["k"].value == "v"
+
+    request = ARequest(AConst("GET"), AConst("https://a.com/x"))
+    request.json_body = AJson({"k": AConst(1)})
+    copy = request.clone({})
+    assert copy is not request
+    assert copy.json_body is not request.json_body
+
+
+def test_immutables_clone_to_self():
+    value = AConst(5)
+    assert value.clone({}) is value
+    unknown = AUnknown("t")
+    assert unknown.clone({}) is unknown

@@ -1,0 +1,81 @@
+"""Edge cases in the dataflow machinery (def-use loops, alias chains)."""
+
+from repro.analysis.alias import PointsTo
+from repro.analysis.defuse import DefUse
+from repro.apk.builder import AppBuilder, MethodBuilder
+from repro.apk.ir import GetField, Invoke, Move
+
+
+def test_loop_carried_definition_reaches_header():
+    """A value defined inside a ForEach body reaches the next iteration."""
+    m = MethodBuilder("loop", params=["this"])
+    items = m.invoke("List.new")
+    acc = m.const("start")
+    with m.foreach(items):
+        acc2 = m.concat(acc, m.const("+"))
+        m.emit(Move(acc, acc2))  # loop-carried update
+    sink = m.concat(acc, m.const("end"))
+    method = m.method
+    defuse = DefUse(method)
+    # the final concat's use of `acc` sees BOTH the initial const and the
+    # in-loop Move (two reaching definitions through the back edge)
+    last_concat = [
+        i for i in method.body.walk()
+        if isinstance(i, Invoke) and i.api == "Str.concat"
+    ][-1]
+    node = defuse.cfg.node_of(last_concat)
+    definitions = defuse.definitions_reaching(node, acc)
+    assert len(definitions) == 2
+
+
+def test_three_level_field_chain_resolved():
+    """a.b stored in x.f, x.f.g read elsewhere: points-to chains work."""
+    app = AppBuilder("com.test.chain")
+    app.config_default("api_host", "https://a.com")
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    inner = m.new("Inner")
+    m.put_field(inner, "token", m.const("secret"))
+    outer = m.new("Outer")
+    m.put_field(outer, "child", inner)
+    m.put_field("this", "ctx", outer)
+    m.call("Main.use", "this")
+    app.method("Main", m)
+
+    m = MethodBuilder("use", params=["this"])
+    outer = m.get_field("this", "ctx")
+    inner = m.get_field(outer, "child")
+    token = m.get_field(inner, "token")
+    url = m.concat(m.config("api_host"), m.const("/x?t="), token)
+    m.execute(m.new_request("GET", url))
+    app.method("Main", m)
+    app.component("main", "Main", screen="home", main=True)
+    app.screen("home")
+    apk = app.build()
+
+    points_to = PointsTo(apk)
+    # the load of `child` in Main.use must resolve to the Inner object
+    use = apk.classes["Main"].methods["use"]
+    loads = [i for i in use.body.walk() if isinstance(i, GetField)]
+    child_load = next(i for i in loads if i.field == "child")
+    stores = points_to.stores_feeding("Main.use", child_load.obj, "child")
+    assert stores
+    assert stores[0][0] == "Main.onStart"
+
+
+def test_alias_sets_disjoint_for_unrelated_objects():
+    app = AppBuilder("com.test.disjoint")
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    a = m.new("A")
+    b = m.new("B")
+    m.put_field(a, "k", m.const(1))
+    m.put_field(b, "k", m.const(2))
+    m.render(a)
+    app.method("Main", m)
+    app.component("main", "Main", screen="home", main=True)
+    app.screen("home")
+    apk = app.build()
+    points_to = PointsTo(apk)
+    assert not points_to.may_alias(("Main.onStart", a), ("Main.onStart", b))
+    # each field slot holds only its own store
+    objects_a = points_to.objects_of("Main.onStart", a)
+    assert len(objects_a) == 1

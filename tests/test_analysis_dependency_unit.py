@@ -1,0 +1,83 @@
+"""Unit tests for dependency extraction, chains, and fan-out."""
+
+from repro.analysis.dependency import dependency_chains, extract_dependencies, fan_out
+from repro.analysis.model import (
+    ConstAtom,
+    DepAtom,
+    DependencyEdge,
+    RequestTemplate,
+    ResponseTemplate,
+    TransactionSignature,
+    ValueTemplate,
+)
+from repro.httpmsg.fieldpath import FieldPath
+
+
+def signature(site, deps=None):
+    fields = {}
+    for index, pred in enumerate(deps or []):
+        fields[FieldPath.parse("query.k{}".format(index))] = ValueTemplate(
+            [DepAtom(pred, FieldPath.parse("body.id"))]
+        )
+    return TransactionSignature(
+        site,
+        RequestTemplate("GET", ValueTemplate([ConstAtom("https://a.com/" + site)]), fields),
+        ResponseTemplate(),
+    )
+
+
+def edge(pred, succ):
+    return DependencyEdge(
+        pred, FieldPath.parse("body.id"), succ, FieldPath.parse("query.k0")
+    )
+
+
+def test_extract_skips_unknown_predecessor_sites():
+    signatures = [signature("b#0", deps=["ghost#0"])]
+    assert extract_dependencies(signatures) == []
+
+
+def test_extract_dedupes_identical_edges():
+    succ = signature("b#0", deps=["a#0", "a#0"])
+    # both fields point at the same pred field but different succ paths
+    result = extract_dependencies([signature("a#0"), succ])
+    assert len(result) == 2  # distinct succ paths, both kept
+    keys = {e.key() for e in result}
+    assert len(keys) == 2
+
+
+def test_chains_linear():
+    chains = dependency_chains([edge("a#0", "b#0"), edge("b#0", "c#0")])
+    assert ["a#0", "b#0", "c#0"] in chains
+
+
+def test_chains_branching_enumerates_maximal_paths():
+    chains = dependency_chains(
+        [edge("a#0", "b#0"), edge("a#0", "c#0"), edge("b#0", "d#0")]
+    )
+    rendered = {"->".join(c) for c in chains}
+    assert "a#0->b#0->d#0" in rendered
+    assert "a#0->c#0" in rendered
+
+
+def test_chains_pure_cycle_has_no_roots():
+    # a pure cycle has no entry point: terminates with no chains
+    assert dependency_chains([edge("a#0", "b#0"), edge("b#0", "a#0")]) == []
+
+
+def test_chains_cycle_reached_from_root_is_cut():
+    chains = dependency_chains(
+        [edge("r#0", "a#0"), edge("a#0", "b#0"), edge("b#0", "a#0")]
+    )
+    assert ["r#0", "a#0", "b#0"] in chains  # the revisit of a#0 is cut
+
+
+def test_chains_empty():
+    assert dependency_chains([]) == []
+
+
+def test_fan_out_counts_distinct_successors():
+    counts = fan_out(
+        [edge("a#0", "b#0"), edge("a#0", "c#0"), edge("a#0", "b#0")]
+    )
+    assert counts == {"a#0": 2}

@@ -1,0 +1,159 @@
+"""Tests for the signature/dependency model."""
+
+from repro.analysis.model import (
+    AltAtom,
+    AnalysisResult,
+    ConstAtom,
+    DepAtom,
+    DependencyEdge,
+    RequestTemplate,
+    ResponseTemplate,
+    TransactionSignature,
+    UnknownAtom,
+    ValueTemplate,
+)
+from repro.httpmsg.fieldpath import FieldPath
+
+
+def dep(site="pred#0", path="body.items[].id"):
+    return DepAtom(site, FieldPath.parse(path))
+
+
+def test_const_template_matches_exact_text():
+    template = ValueTemplate.const("android")
+    assert template.is_const()
+    assert template.const_value() == "android"
+    assert template.matches("android")
+    assert not template.matches("ios")
+
+
+def test_regex_escapes_special_characters():
+    template = ValueTemplate.const("a.b+c")
+    assert template.matches("a.b+c")
+    assert not template.matches("aXb+c")
+
+
+def test_unknown_template_matches_anything():
+    template = ValueTemplate.unknown("env:cookie")
+    assert not template.is_const()
+    assert template.matches("")
+    assert template.matches("bsid=1; theme=dark")
+
+
+def test_concat_template_regex():
+    template = ValueTemplate(
+        [UnknownAtom("env:config:host"), ConstAtom("/img?cid="), dep()]
+    )
+    assert template.matches("https://img.wish.com/img?cid=09cf")
+    assert not template.matches("https://img.wish.com/other")
+
+
+def test_dep_atoms_found_through_alternations():
+    alternation = AltAtom([ValueTemplate([dep("a#0")]), ValueTemplate([dep("b#0")])])
+    template = ValueTemplate([alternation])
+    sites = {atom.pred_site for atom in template.dep_atoms()}
+    assert sites == {"a#0", "b#0"}
+
+
+def test_alt_atom_regex_alternation():
+    alternation = AltAtom([ValueTemplate.const("30"), ValueTemplate.const("1")])
+    template = ValueTemplate([alternation])
+    assert template.matches("30")
+    assert template.matches("1")
+    assert not template.matches("2")
+
+
+def test_alt_atom_dedupes_options():
+    alternation = AltAtom([ValueTemplate.const("x"), ValueTemplate.const("x")])
+    assert len(alternation.options) == 1
+
+
+def make_signature(site, fields=None, uri_text="/api/x", deps=()):
+    atoms = [UnknownAtom("env:config:api_host"), ConstAtom(uri_text)]
+    request = RequestTemplate(
+        method="GET",
+        uri=ValueTemplate(atoms),
+        fields=fields or {},
+    )
+    return TransactionSignature(site, request, ResponseTemplate())
+
+
+def test_request_template_uri_match_ignores_query():
+    signature = make_signature("s#0", uri_text="/api/feed")
+    assert signature.request.matches_uri("https://a.com/api/feed?x=1")
+    assert not signature.request.matches_uri("https://a.com/api/feedz")
+
+
+def test_signature_successor_detection():
+    plain = make_signature("plain#0")
+    assert not plain.is_successor()
+    succ = make_signature(
+        "succ#0",
+        fields={FieldPath.parse("query.cid"): ValueTemplate([dep()])},
+    )
+    assert succ.is_successor()
+
+
+def test_signature_hash_stable_and_distinct():
+    a = make_signature("s#0")
+    b = make_signature("s#0")
+    c = make_signature("s#1")
+    assert a.hash == b.hash
+    assert a.hash != c.hash
+
+
+def test_default_variant_covers_all_fields():
+    signature = make_signature(
+        "s#0",
+        fields={FieldPath.parse("query.a"): ValueTemplate.const("1")},
+    )
+    assert signature.variants == [frozenset({"query.a"})]
+
+
+def make_result():
+    signatures = [
+        make_signature("a#0"),
+        make_signature(
+            "b#0", fields={FieldPath.parse("query.k"): ValueTemplate([dep("a#0")])}
+        ),
+        make_signature(
+            "c#0", fields={FieldPath.parse("query.k"): ValueTemplate([dep("b#0")])}
+        ),
+    ]
+    edges = [
+        DependencyEdge("a#0", FieldPath.parse("body.id"), "b#0", FieldPath.parse("query.k")),
+        DependencyEdge("b#0", FieldPath.parse("body.id"), "c#0", FieldPath.parse("query.k")),
+    ]
+    return AnalysisResult("com.test", signatures, edges)
+
+
+def test_analysis_result_prefetchable():
+    result = make_result()
+    assert {s.site for s in result.prefetchable()} == {"b#0", "c#0"}
+
+
+def test_analysis_result_chain_length():
+    assert make_result().max_chain_length() == 3
+
+
+def test_analysis_result_neighbors():
+    result = make_result()
+    assert [e.succ_site for e in result.successors_of("a#0")] == ["b#0"]
+    assert [e.pred_site for e in result.predecessors_of("c#0")] == ["b#0"]
+
+
+def test_analysis_summary_keys():
+    summary = make_result().summary()
+    assert summary == {
+        "signatures": 3,
+        "prefetchable": 2,
+        "dependencies": 2,
+        "max_chain": 3,
+    }
+
+
+def test_dependency_edge_identity():
+    a = DependencyEdge("x#0", FieldPath.parse("body.id"), "y#0", FieldPath.parse("query.k"))
+    b = DependencyEdge("x#0", FieldPath.parse("body.id"), "y#0", FieldPath.parse("query.k"))
+    assert a == b
+    assert len({a, b}) == 1

@@ -1,0 +1,61 @@
+"""Tests for the Fig. 5-style signature report."""
+
+import pytest
+
+from repro.analysis import analyze_apk
+from repro.analysis.report import render_report, render_signature
+from repro.apps import get_app
+
+
+@pytest.fixture(scope="module")
+def wish_result():
+    return analyze_apk(get_app("wish").build_apk())
+
+
+def detail_signature(result):
+    return next(s for s in result.signatures if "postDetail" in s.site)
+
+
+def test_signature_rendering_contains_fig5_elements(wish_result):
+    text = render_signature(detail_signature(wish_result))
+    assert "URI" in text
+    assert "/product/get" in text
+    assert "cid: (" in text  # alternation of its three predecessors
+    assert "_xsrf: 1" in text
+    # dependency annotation points back at the feed
+    assert "<- FeedActivity" in text
+    # run-time wildcards carry their provenance tag
+    assert "[env:cookie]" in text
+
+
+def test_variants_rendered_when_branching(wish_result):
+    text = render_signature(detail_signature(wish_result))
+    assert "Variants (2 run-time classes)" in text
+    assert "body.credit_id" in text
+
+
+def test_side_effect_flagged(wish_result):
+    buy = next(s for s in wish_result.signatures if "onBuyClick" in s.site)
+    assert "side-effecting" in render_signature(buy)
+
+
+def test_blob_response_rendered(wish_result):
+    image = next(s for s in wish_result.signatures if s.site == "FeedActivity.loadFeed#1")
+    assert "Response (blob)" in render_signature(image)
+
+
+def test_full_report_lists_everything(wish_result):
+    text = render_report(wish_result)
+    assert "Analysis of com.wish.android" in text
+    for signature in wish_result.signatures:
+        assert signature.site in text
+    assert "Dependency map" in text
+    assert text.count("-->") == len(wish_result.dependencies)
+
+
+def test_report_renders_for_every_app():
+    for name in ("geek", "doordash", "purple_ocean", "postmates"):
+        result = analyze_apk(get_app(name).build_apk())
+        text = render_report(result)
+        assert result.package in text
+        assert len(text.splitlines()) > 20

@@ -1,0 +1,90 @@
+"""Tests for the signature-file (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.analysis import analyze_apk
+from repro.analysis.serialize import dumps, loads
+from repro.apps import all_apps
+
+
+@pytest.mark.parametrize("name", list(all_apps()), ids=str)
+def test_round_trip_preserves_everything(name):
+    original = analyze_apk(all_apps()[name].build_apk())
+    restored = loads(dumps(original))
+    assert restored.package == original.package
+    assert restored.sites() == original.sites()
+    assert restored.dependencies == original.dependencies
+    for before, after in zip(original.signatures, restored.signatures):
+        assert after.site == before.site
+        assert after.hash == before.hash
+        assert after.side_effect == before.side_effect
+        assert after.request.method == before.request.method
+        assert after.request.uri.canonical() == before.request.uri.canonical()
+        assert after.request.body_kind == before.request.body_kind
+        assert {
+            p.to_string(): t.canonical() for p, t in after.request.fields.items()
+        } == {p.to_string(): t.canonical() for p, t in before.request.fields.items()}
+        assert set(after.variants) == set(before.variants)
+        assert after.response.body_kind == before.response.body_kind
+        assert {p.to_string() for p in after.response.paths} == {
+            p.to_string() for p in before.response.paths
+        }
+
+
+def test_round_trip_summary_identical():
+    original = analyze_apk(all_apps()["wish"].build_apk())
+    restored = loads(dumps(original))
+    assert restored.summary() == original.summary()
+
+
+def test_double_round_trip_stable():
+    original = analyze_apk(all_apps()["doordash"].build_apk())
+    once = dumps(loads(dumps(original)))
+    assert once == dumps(original)
+
+
+def test_output_is_valid_sorted_json():
+    text = dumps(analyze_apk(all_apps()["geek"].build_apk()))
+    payload = json.loads(text)
+    assert payload["format"] == 1
+    assert payload["package"] == "com.contextlogic.geek"
+
+
+def test_unknown_format_rejected():
+    text = dumps(analyze_apk(all_apps()["geek"].build_apk()))
+    payload = json.loads(text)
+    payload["format"] = 99
+    with pytest.raises(ValueError):
+        loads(json.dumps(payload))
+
+
+def test_restored_result_drives_a_proxy():
+    """A proxy built from a signature file behaves like the original."""
+    from repro.device.runtime import AppRuntime
+    from repro.netsim.link import Link
+    from repro.netsim.sim import Delay, Simulator
+    from repro.proxy import AccelerationProxy, ProxiedTransport
+    from repro.server.content import Catalog
+
+    spec = all_apps()["wish"]
+    restored = loads(dumps(analyze_apk(spec.build_apk())))
+    sim = Simulator()
+    origins, _ = spec.build_origin_map(sim, Catalog())
+    proxy = AccelerationProxy(sim, origins, restored)
+    runtime = AppRuntime(
+        spec.build_apk(),
+        ProxiedTransport(sim, Link(rtt=0.055, shared=True), proxy),
+        sim,
+        spec.default_profile(),
+    )
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield Delay(6.0)
+        result = yield sim.spawn(runtime.dispatch("select_item", 3))
+        return result
+
+    sim.run_process(flow())
+    assert proxy.served_prefetched >= 3

@@ -1,0 +1,116 @@
+"""Unit tests for signature building internals (URI split, variants)."""
+
+from repro.analysis.model import ConstAtom, DepAtom, UnknownAtom, ValueTemplate
+from repro.analysis.signatures import _parse_query_atoms, _split_uri, _variants_of
+from repro.httpmsg.fieldpath import FieldPath
+
+
+def dep():
+    return DepAtom("pred#0", FieldPath.parse("body.items[].id"))
+
+
+# -- URI splitting --------------------------------------------------------------
+def test_split_plain_uri_unchanged():
+    atoms = [UnknownAtom("env:config:host"), ConstAtom("/product/get")]
+    uri_atoms, query = _split_uri(atoms)
+    assert uri_atoms == atoms
+    assert query == []
+
+
+def test_split_embedded_query_with_dep():
+    atoms = [UnknownAtom("env:config:host"), ConstAtom("/img?cid="), dep()]
+    uri_atoms, query = _split_uri(atoms)
+    assert [type(a).__name__ for a in uri_atoms] == ["UnknownAtom", "ConstAtom"]
+    assert uri_atoms[1].value == "/img"
+    assert len(query) == 1
+    key, template = query[0]
+    assert key == "cid"
+    assert isinstance(template.atoms[0], DepAtom)
+
+
+def test_split_multiple_query_pairs():
+    atoms = [ConstAtom("https://a.com/x?a=1&b="), dep(), ConstAtom("&c=3")]
+    uri_atoms, query = _split_uri(atoms)
+    assert uri_atoms[0].value == "https://a.com/x"
+    pairs = {key: template for key, template in query}
+    assert set(pairs) == {"a", "b", "c"}
+    assert pairs["a"].const_value() == "1"
+    assert isinstance(pairs["b"].atoms[0], DepAtom)
+    assert pairs["c"].const_value() == "3"
+
+
+def test_split_query_with_trailing_value_flushes():
+    atoms = [ConstAtom("/x?k=")]
+    _, query = _parse_query_and_check(atoms)
+    assert query[0][0] == "k"
+    assert query[0][1].const_value() == ""
+
+
+def _parse_query_and_check(atoms):
+    return _split_uri(atoms)
+
+
+def test_parse_query_atoms_value_spanning_atoms():
+    query = _parse_query_atoms([ConstAtom("k=pre-"), dep(), ConstAtom("-post")])
+    assert len(query) == 1
+    key, template = query[0]
+    assert key == "k"
+    kinds = [type(a).__name__ for a in template.atoms]
+    assert kinds == ["ConstAtom", "DepAtom", "ConstAtom"]
+
+
+# -- variants ----------------------------------------------------------------------
+def entry(path_text, branch=()):
+    return (FieldPath.parse(path_text), ValueTemplate.const("x"), tuple(branch))
+
+
+def test_variants_without_branches_single_set():
+    variants = _variants_of([entry("body.a"), entry("body.b")])
+    assert variants == {frozenset({"body.a", "body.b"})}
+
+
+def test_variants_single_branch_two_sets():
+    variants = _variants_of(
+        [entry("body.a"), entry("body.credit", [("m@b0", "then")])]
+    )
+    assert variants == {
+        frozenset({"body.a", "body.credit"}),
+        frozenset({"body.a"}),
+    }
+
+
+def test_variants_both_arms_fields():
+    variants = _variants_of(
+        [
+            entry("body.count", [("m@b0", "then")]),
+            entry("body.count~1", [("m@b0", "else")]),
+        ]
+    )
+    # one arm each: two variants with exactly one count field present
+    assert variants == {frozenset({"body.count"}), frozenset({"body.count~1"})}
+
+
+def test_variants_two_independent_branches_four_sets():
+    variants = _variants_of(
+        [
+            entry("body.base"),
+            entry("body.x", [("b0", "then")]),
+            entry("body.y", [("b1", "then")]),
+        ]
+    )
+    assert len(variants) == 4
+    assert frozenset({"body.base"}) in variants
+    assert frozenset({"body.base", "body.x", "body.y"}) in variants
+
+
+def test_variants_nested_branch_context():
+    variants = _variants_of(
+        [
+            entry("body.outer", [("b0", "then")]),
+            entry("body.inner", [("b0", "then"), ("b1", "then")]),
+        ]
+    )
+    # inner requires outer's arm: no variant has inner without outer
+    for variant in variants:
+        if "body.inner" in variant:
+            assert "body.outer" in variant

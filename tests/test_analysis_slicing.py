@@ -1,0 +1,171 @@
+"""Tests for CFG/def-use, points-to, and bidirectional slicing."""
+
+import pytest
+
+from repro.analysis.alias import PointsTo
+from repro.analysis.defuse import Cfg, DefUse
+from repro.analysis.slicing import (
+    SliceContext,
+    backward_slice,
+    execute_sites,
+    forward_slice,
+    slice_report,
+)
+from repro.apk.builder import AppBuilder, Lit, MethodBuilder
+from repro.apk.ir import Const, GetField, Invoke, PutField
+
+
+def build_app():
+    app = AppBuilder("com.test.slice")
+    app.config_default("api_host", "https://a.com")
+
+    # helper that builds and fires a request from a holder object
+    m = MethodBuilder("send", params=["this", "holder"])
+    value = m.get_field("holder", "payload")
+    url = m.concat(m.config("api_host"), m.const("/send?d="), value)
+    req = m.new_request("GET", url)
+    resp = m.execute(req)
+    m.ret(resp)
+    app.method("Main", m)
+
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    url = m.concat(m.config("api_host"), m.const("/src"))
+    req = m.new_request("GET", url)
+    resp = m.execute(req)
+    body = m.body_json(resp)
+    token = m.json_get(body, "token")
+    holder = m.new("Holder")
+    alias = m.move(holder)
+    m.put_field(alias, "payload", token)  # store through the alias
+    m.call("Main.send", "this", holder)  # read through the original
+    m.render(body)
+    app.method("Main", m)
+
+    app.component("main", "Main", screen="home", main=True)
+    app.screen("home")
+    return app.build()
+
+
+@pytest.fixture(scope="module")
+def apk():
+    return build_app()
+
+
+@pytest.fixture(scope="module")
+def context(apk):
+    return SliceContext(apk)
+
+
+# -- CFG / def-use ---------------------------------------------------------
+def test_cfg_covers_every_instruction(apk):
+    method = apk.classes["Main"].methods["onStart"]
+    cfg = Cfg(method)
+    assert len(cfg.nodes) == sum(1 for _ in method.body.walk())
+    assert cfg.entry is not None
+
+
+def test_branch_cfg_edges():
+    m = MethodBuilder("b", params=["this"])
+    flag = m.flag("f")
+    with m.if_(flag):
+        m.const("x")
+    m.const("after")
+    method = m.method
+    cfg = Cfg(method)
+    branch = next(n for n in cfg.nodes if n.instruction.kind == "if")
+    after = next(
+        n for n in cfg.nodes if getattr(n.instruction, "value", None) == "after"
+    )
+    # both the then-arm and the empty else fall through to `after`
+    assert len(after.predecessors) == 2
+    assert branch in after.predecessors or any(
+        p in branch.successors for p in after.predecessors
+    )
+
+
+def test_foreach_back_edge():
+    m = MethodBuilder("l", params=["this"])
+    items = m.invoke("List.new")
+    with m.foreach(items):
+        m.const("inner")
+    method = m.method
+    cfg = Cfg(method)
+    loop = next(n for n in cfg.nodes if n.instruction.kind == "foreach")
+    inner = next(
+        n for n in cfg.nodes if getattr(n.instruction, "value", None) == "inner"
+    )
+    assert loop in inner.predecessors
+    assert loop in inner.successors  # back edge
+
+
+def test_defuse_links_use_to_definition(apk):
+    method = apk.classes["Main"].methods["onStart"]
+    defuse = DefUse(method)
+    put = next(i for i in method.body.walk() if isinstance(i, PutField))
+    node = defuse.cfg.node_of(put)
+    uses = defuse.uses_of(node)
+    assert put.src in uses
+    assert uses[put.src], "definition of stored value must reach the store"
+
+
+def test_defuse_params_reach(apk):
+    method = apk.classes["Main"].methods["send"]
+    defuse = DefUse(method)
+    get = next(i for i in method.body.walk() if isinstance(i, GetField))
+    node = defuse.cfg.node_of(get)
+    assert None in defuse.definitions_reaching(node, "holder")
+
+
+# -- points-to ----------------------------------------------------------------
+def test_alias_detected(apk):
+    points_to = PointsTo(apk)
+    method = apk.classes["Main"].methods["onStart"]
+    new = next(i for i in method.body.walk() if i.kind == "new")
+    move = next(i for i in method.body.walk() if i.kind == "move")
+    assert points_to.may_alias(("Main.onStart", new.dst), ("Main.onStart", move.dst))
+
+
+def test_store_feeds_load_through_alias_and_call(apk, context):
+    method = apk.classes["Main"].methods["send"]
+    get = next(i for i in method.body.walk() if isinstance(i, GetField))
+    stores = context.points_to.stores_feeding("Main.send", get.obj, "payload")
+    assert stores, "alias analysis must find the PutField through the alias"
+    assert stores[0][0] == "Main.onStart"
+
+
+# -- slicing -------------------------------------------------------------------
+def test_execute_sites_found(apk):
+    sites = execute_sites(apk)
+    assert {owner for owner, _ in sites} == {"Main.send", "Main.onStart"}
+
+
+def test_backward_slice_crosses_alias_and_call(apk, context):
+    send_site = next(s for o, s in execute_sites(apk) if o == "Main.send")
+    items = backward_slice(context, "Main.send", send_site)
+    owners = {owner for owner, _ in items}
+    assert "Main.onStart" in owners  # via alias store + call-site args
+    instructions = {type(i).__name__ for _, i in items}
+    assert "PutField" in instructions
+
+
+def test_backward_slice_without_alias_misses_store(apk, context):
+    send_site = next(s for o, s in execute_sites(apk) if o == "Main.send")
+    with_alias = backward_slice(context, "Main.send", send_site, use_alias=True)
+    without_alias = backward_slice(context, "Main.send", send_site, use_alias=False)
+    assert len(without_alias) < len(with_alias)
+
+
+def test_forward_slice_from_response(apk, context):
+    source_site = next(s for o, s in execute_sites(apk) if o == "Main.onStart")
+    items = forward_slice(context, "Main.onStart", source_site)
+    owners = {owner for owner, _ in items}
+    # the response token flows into Main.send's request
+    assert "Main.send" in owners
+
+
+def test_slice_report_shape(apk):
+    report = slice_report(apk)
+    assert set(report) == {"Main.send#0", "Main.onStart#0"}
+    for sizes in report.values():
+        assert sizes["backward"] >= 1
+        assert sizes["forward"] >= 1

@@ -1,0 +1,175 @@
+"""Tests for the app builder DSL and the program validator."""
+
+import pytest
+
+from repro.apk.builder import AppBuilder, Lit, MethodBuilder
+from repro.apk.validate import ValidationError, validate_apk
+
+
+def minimal_app(break_it=None):
+    app = AppBuilder("com.test.app")
+    m = MethodBuilder("onStart", params=["this", "intent"])
+    url = m.concat(m.config("api_host"), m.const("/feed"))
+    req = m.new_request("GET", url)
+    resp = m.execute(req)
+    m.render(m.body_json(resp))
+    app.method("Main", m)
+    app.component("main", "Main", screen="home", main=True)
+    app.screen("home")
+    if break_it:
+        break_it(app)
+    return app
+
+
+def test_valid_app_builds():
+    apk = minimal_app().build()
+    assert apk.main().name == "main"
+    assert apk.instruction_count() > 0
+
+
+def test_builder_arity_check():
+    m = MethodBuilder("m")
+    with pytest.raises(ValueError):
+        m.invoke("Str.concat", m.const("only-one"))
+
+
+def test_builder_unknown_api_rejected():
+    m = MethodBuilder("m")
+    with pytest.raises(KeyError):
+        m.invoke("No.suchApi")
+
+
+def test_builder_fresh_registers_unique():
+    m = MethodBuilder("m")
+    registers = {m.const(i) for i in range(50)}
+    assert len(registers) == 50
+
+
+def test_if_else_nesting():
+    m = MethodBuilder("m", params=["this"])
+    flag = m.flag("x")
+    with m.if_(flag):
+        m.const("in-then")
+    with m.else_():
+        m.const("in-else")
+    body = m.method.body
+    branch = body.instructions[-1]
+    assert branch.kind == "if"
+    assert len(branch.then_block) == 1
+    assert len(branch.else_block) == 1
+
+
+def test_else_without_if_rejected():
+    m = MethodBuilder("m", params=["this"])
+    m.const("x")
+    with pytest.raises(ValueError):
+        with m.else_():
+            pass
+
+
+def test_validator_catches_missing_handler():
+    def break_it(app):
+        app.event("home", "tap", "Main.noSuchHandler")
+
+    with pytest.raises(ValidationError) as error:
+        minimal_app(break_it).build()
+    assert "noSuchHandler" in str(error.value)
+
+
+def test_validator_catches_missing_component_class():
+    def break_it(app):
+        app.component("ghost", "GhostActivity", screen="home")
+
+    with pytest.raises(ValidationError):
+        minimal_app(break_it).build()
+
+
+def test_validator_catches_bad_component_start_target():
+    def break_it(app):
+        m = MethodBuilder("go", params=["this"])
+        intent = m.intent_new()
+        m.start_component(intent, "nonexistent")
+        app.method("Main", m)
+
+    with pytest.raises(ValidationError) as error:
+        minimal_app(break_it).build()
+    assert "nonexistent" in str(error.value)
+
+
+def test_validator_catches_bad_rx_funcref():
+    def break_it(app):
+        m = MethodBuilder("rx", params=["this"])
+        obs = m.rx_just(m.const(1))
+        m.rx_subscribe(obs, "Main.missingCallback")
+        app.method("Main", m)
+
+    with pytest.raises(ValidationError):
+        minimal_app(break_it).build()
+
+
+def test_validator_catches_use_before_definition():
+    def break_it(app):
+        m = MethodBuilder("bad", params=["this"])
+        m.emit_use_undefined = m.emit  # readability
+        from repro.apk.ir import Move
+
+        m.emit(Move("x", "never_defined"))
+        app.method("Main", m)
+
+    with pytest.raises(ValidationError) as error:
+        minimal_app(break_it).build()
+    assert "never_defined" in str(error.value)
+
+
+def test_validator_branch_join_definitions():
+    # a register defined in only one arm must not be usable after the If
+    def break_it(app):
+        m = MethodBuilder("branchy", params=["this"])
+        flag = m.flag("f")
+        with m.if_(flag):
+            m.emit_target = m.const("one")
+        from repro.apk.ir import Const, Move
+
+        branch = m.method.body.instructions[-1]
+        only_then = branch.then_block.instructions[-1].dst
+        m.emit(Move("after", only_then))
+        app.method("Main", m)
+
+    with pytest.raises(ValidationError):
+        minimal_app(break_it).build()
+
+
+def test_validator_both_arm_definitions_survive():
+    app = minimal_app()
+    m = MethodBuilder("ok", params=["this"])
+    flag = m.flag("f")
+    from repro.apk.ir import Const, Move
+
+    with m.if_(flag):
+        m.emit(Const("v", 1))
+    with m.else_():
+        m.emit(Const("v", 2))
+    m.emit(Move("after", "v"))
+    app.method("Main", m)
+    app.build()  # must not raise
+
+
+def test_component_without_lifecycle_method_rejected():
+    app = AppBuilder("com.test.broken")
+    app.app_class("Empty")
+    app.component("c", "Empty", screen=None, main=True)
+    with pytest.raises(ValidationError):
+        validate_apk(app.apk)
+
+
+def test_call_arity_mismatch_caught():
+    app = minimal_app()
+    m = MethodBuilder("helper", params=["this", "a", "b"])
+    m.ret("a")
+    app.method("Main", m)
+    caller = MethodBuilder("caller", params=["this"])
+    caller.call("Main.helper", "this")  # too few args
+    app.method("Main", caller)
+    with pytest.raises(ValidationError) as error:
+        app.build()
+    assert "wants 3" in str(error.value)

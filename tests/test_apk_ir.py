@@ -1,0 +1,83 @@
+"""Tests for the mini-IR data structures."""
+
+import pytest
+
+from repro.apk.ir import (
+    Block,
+    CallMethod,
+    Const,
+    ForEach,
+    GetField,
+    If,
+    Invoke,
+    MethodRef,
+    Move,
+    New,
+    PutField,
+    Return,
+)
+
+
+def test_method_ref_parse_and_format():
+    ref = MethodRef.parse("FeedActivity.onStart")
+    assert ref.class_name == "FeedActivity"
+    assert ref.method_name == "onStart"
+    assert ref.to_string() == "FeedActivity.onStart"
+
+
+def test_method_ref_requires_class():
+    with pytest.raises(ValueError):
+        MethodRef.parse("loneMethod")
+
+
+def test_method_ref_equality_and_hash():
+    a = MethodRef("C", "m")
+    b = MethodRef.parse("C.m")
+    assert a == b
+    assert len({a, b}) == 1
+
+
+def test_defined_and_used_registers():
+    assert Const("d", 1).defined_registers() == ["d"]
+    assert Move("d", "s").used_registers() == ["s"]
+    assert New("d", "C").defined_registers() == ["d"]
+    get = GetField("d", "o", "f")
+    assert get.defined_registers() == ["d"]
+    assert get.used_registers() == ["o"]
+    put = PutField("o", "f", "s")
+    assert sorted(put.used_registers()) == ["o", "s"]
+    invoke = Invoke("d", "Str.concat", ["a", "b"])
+    assert invoke.defined_registers() == ["d"]
+    assert invoke.used_registers() == ["a", "b"]
+    void_invoke = Invoke(None, "Ui.render", ["x"])
+    assert void_invoke.defined_registers() == []
+    call = CallMethod("d", MethodRef("C", "m"), ["a"])
+    assert call.defined_registers() == ["d"]
+    assert Return("r").used_registers() == ["r"]
+    assert Return().used_registers() == []
+
+
+def test_if_child_blocks():
+    branch = If("c", Block([Const("x", 1)]), Block([Const("y", 2)]))
+    assert branch.used_registers() == ["c"]
+    assert len(branch.child_blocks()) == 2
+
+
+def test_foreach_defines_loop_variable():
+    loop = ForEach("item", "items", Block())
+    assert loop.defined_registers() == ["item"]
+    assert loop.used_registers() == ["items"]
+    assert loop.parallel is False
+    assert ForEach("i", "s", Block(), parallel=True).parallel
+
+
+def test_block_walk_recurses():
+    inner = Block([Const("a", 1)])
+    outer = Block([If("c", inner, Block([Const("b", 2)])), Const("d", 3)])
+    kinds = [type(i).__name__ for i in outer.walk()]
+    assert kinds == ["If", "Const", "Const", "Const"]
+
+
+def test_block_len_counts_top_level_only():
+    block = Block([Const("a", 1), If("a", Block([Const("b", 2)]), Block())])
+    assert len(block) == 2

@@ -1,0 +1,127 @@
+"""Tests for program containers and the semantic API catalog."""
+
+import pytest
+
+from repro.apk.api import (
+    CATALOG,
+    is_known,
+    network_sink,
+    runtime_only,
+    spec_for,
+    unknown_tag,
+)
+from repro.apk.ir import Block, MethodRef
+from repro.apk.program import ApkFile, AppClass, Component, EventSpec, Method, Screen
+
+
+# -- API catalog ---------------------------------------------------------------
+def test_catalog_covers_core_apis():
+    for api in (
+        "Str.concat", "Http.newRequest", "Http.execute", "Json.get",
+        "Intent.putExtra", "Rx.flatMap", "Env.cookie", "Ui.render",
+    ):
+        assert is_known(api)
+
+
+def test_spec_for_unknown_raises():
+    with pytest.raises(KeyError):
+        spec_for("Nope.nothing")
+
+
+def test_network_sink_only_execute():
+    assert network_sink("Http.execute")
+    assert not network_sink("Http.newRequest")
+    assert not network_sink("definitely.not.an.api")
+
+
+def test_runtime_only_tags():
+    assert runtime_only("Env.cookie")
+    assert runtime_only("Env.config")
+    assert not runtime_only("Str.concat")
+
+
+def test_unstable_tag_on_nonce():
+    assert spec_for("Env.nonce").has_tag("unstable")
+    assert not spec_for("Env.cookie").has_tag("unstable")
+
+
+def test_unknown_tag_format():
+    assert unknown_tag("Env.cookie") == "env:cookie"
+    assert unknown_tag("Env.config", "api_host") == "env:config:api_host"
+
+
+def test_catalog_arities_sane():
+    for name, spec in CATALOG.items():
+        assert spec.arity >= 0
+        assert isinstance(spec.returns, bool), name
+
+
+# -- program containers -----------------------------------------------------------
+def make_apk():
+    apk = ApkFile("com.test", label="Test")
+    app_class = apk.add_class(AppClass("Main"))
+    method = app_class.add_method(Method("onStart", ["this", "intent"]))
+    apk.add_component(Component("main", "Main", screen="home"), main=True)
+    screen = apk.add_screen(Screen("home"))
+    screen.add_event(EventSpec("tap", MethodRef("Main", "onStart")))
+    return apk, method
+
+
+def test_method_ref_requires_attachment():
+    method = Method("orphan", ["this"])
+    with pytest.raises(ValueError):
+        method.ref
+
+
+def test_resolve_and_missing():
+    apk, method = make_apk()
+    assert apk.resolve(MethodRef("Main", "onStart")) is method
+    with pytest.raises(KeyError):
+        apk.resolve(MethodRef("Main", "missing"))
+    with pytest.raises(KeyError):
+        apk.resolve(MethodRef("Ghost", "onStart"))
+
+
+def test_main_component_selection():
+    apk = ApkFile("com.test")
+    apk.add_class(AppClass("A"))
+    first = apk.add_component(Component("first", "A"))
+    assert apk.main() is first  # first registered becomes default
+    explicit = apk.add_component(Component("second", "A"), main=True)
+    assert apk.main() is explicit
+
+
+def test_main_missing_raises():
+    with pytest.raises(ValueError):
+        ApkFile("com.empty").main()
+
+
+def test_component_kind_validation():
+    with pytest.raises(ValueError):
+        Component("x", "C", kind="widget")
+
+
+def test_screen_event_lookup():
+    apk, _ = make_apk()
+    screen = apk.screen("home")
+    assert screen.event_names() == ["tap"]
+    assert screen.event("tap").handler == MethodRef("Main", "onStart")
+    with pytest.raises(KeyError):
+        screen.event("swipe")
+
+
+def test_instruction_count_and_all_methods():
+    apk, method = make_apk()
+    assert apk.instruction_count() == 0
+    from repro.apk.ir import Const
+
+    method.body.append(Const("x", 1))
+    assert apk.instruction_count() == 1
+    assert apk.all_methods() == [method]
+
+
+def test_event_spec_defaults():
+    event = EventSpec("tap", MethodRef("C", "m"))
+    assert not event.takes_index
+    assert not event.side_effect
+    assert event.weight == 1.0

@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_apps_command(capsys):
+    code, out = run_cli(capsys, "apps")
+    assert code == 0
+    for name in ("wish", "geek", "doordash", "purple_ocean", "postmates"):
+        assert name in out
+
+
+def test_analyze_command(capsys):
+    code, out = run_cli(capsys, "analyze", "purple_ocean")
+    assert code == 0
+    assert "signatures: 8" in out
+    assert "dependencies:" in out
+    assert "[side-effect]" in out
+
+
+def test_analyze_sig_file(tmp_path, capsys):
+    target = tmp_path / "wish.sig.json"
+    code, out = run_cli(capsys, "analyze", "wish", "--sig-file", str(target))
+    assert code == 0
+    payload = json.loads(target.read_text())
+    assert payload["package"] == "com.wish.android"
+    assert payload["signatures"]
+
+
+def test_demo_command(capsys):
+    code, out = run_cli(capsys, "demo", "postmates")
+    assert code == 0
+    assert "without proxy" in out
+    assert "with APPx" in out
+
+
+def test_experiment_table1(capsys):
+    code, out = run_cli(capsys, "experiment", "table1")
+    assert code == 0
+    assert "Wish" in out
+
+
+def test_experiment_ablation(capsys):
+    code, out = run_cli(capsys, "experiment", "ablation")
+    assert code == 0
+    assert "no_intents" in out
+
+
+def test_experiment_unknown(capsys):
+    code = main(["experiment", "nope"])
+    assert code == 2
+
+
+def test_unknown_app_errors():
+    with pytest.raises(KeyError):
+        main(["analyze", "not-an-app"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_verify_command(tmp_path, capsys):
+    config_file = tmp_path / "config.json"
+    code, out = run_cli(
+        capsys, "verify", "purple_ocean", "--duration", "20",
+        "--config-file", str(config_file),
+    )
+    assert code == 0
+    assert "expiration estimates" in out
+    payload = json.loads(config_file.read_text())
+    assert payload["policies"]

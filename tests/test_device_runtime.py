@@ -1,0 +1,230 @@
+"""Tests for the concrete device runtime (interpreter + measurement)."""
+
+import pytest
+
+from repro.apps.wish import SPEC as WISH
+from repro.device.profile import DeviceProfile
+from repro.device.runtime import AppRuntime
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.netsim.transport import DirectTransport
+from repro.server.content import Catalog
+
+
+@pytest.fixture()
+def env():
+    sim = Simulator()
+    origins, servers = WISH.build_origin_map(sim, Catalog())
+    transport = DirectTransport(sim, Link(rtt=0.055, shared=True), origins)
+    runtime = AppRuntime(WISH.build_apk(), transport, sim, WISH.default_profile())
+    return sim, runtime, servers
+
+
+def test_launch_renders_feed_and_thumbnails(env):
+    sim, runtime, _ = env
+    result = sim.run_process(runtime.launch())
+    assert result.event == "launch"
+    assert runtime.current_screen == "feed"
+    # 1 feed + 30 thumbnails
+    assert len(result.transactions) == 31
+    feed = result.transactions[0]
+    assert feed.request.uri.path == "/api/get-feed"
+    assert feed.response.status == 200
+
+
+def test_launch_latency_includes_processing_delay(env):
+    sim, runtime, _ = env
+    result = sim.run_process(runtime.launch())
+    assert result.processing_delay == WISH.processing["launch"]
+    assert result.latency >= result.processing_delay
+    assert result.network_delay > 0
+
+
+def test_dispatch_requires_launch(env):
+    _, runtime, _ = env
+    with pytest.raises(RuntimeError):
+        runtime.dispatch("select_item", 0)
+
+
+def test_select_item_navigates_to_detail(env):
+    sim, runtime, _ = env
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        result = yield sim.spawn(runtime.dispatch("select_item", 3))
+        return result
+
+    result = sim.run_process(flow())
+    assert runtime.current_screen == "detail"
+    paths = [t.request.uri.path for t in result.transactions]
+    assert "/product/get" in paths
+    assert "/related/get" in paths
+    assert "/product-img" in paths
+
+
+def test_product_request_body_matches_flags(env):
+    sim, runtime, _ = env
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        result = yield sim.spawn(runtime.dispatch("select_item", 0))
+        return result
+
+    result = sim.run_process(flow())
+    product = next(
+        t for t in result.transactions if t.request.uri.path == "/product/get"
+    )
+    body = product.request.body
+    # has_credit is False in the default profile: no credit_id field
+    assert body.get("credit_id") is None
+    assert body.get("_client") == "android"
+    assert body.get_all("_cap[]") == ["2", "4"]
+
+
+def test_flag_controls_branch():
+    sim = Simulator()
+    origins, _ = WISH.build_origin_map(sim, Catalog())
+    transport = DirectTransport(sim, Link(rtt=0.055), origins)
+    profile = WISH.default_profile()
+    profile.flags["has_credit"] = True
+    profile.config["credit_id"] = "cc-42"
+    runtime = AppRuntime(WISH.build_apk(), transport, sim, profile)
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        result = yield sim.spawn(runtime.dispatch("select_item", 0))
+        return result
+
+    result = sim.run_process(flow())
+    product = next(
+        t for t in result.transactions if t.request.uri.path == "/product/get"
+    )
+    assert product.request.body.get("credit_id") == "cc-42"
+
+
+def test_cookie_learned_after_first_response(env):
+    sim, runtime, _ = env
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        result = yield sim.spawn(runtime.dispatch("select_item", 1))
+        return result
+
+    result = sim.run_process(flow())
+    product = next(
+        t for t in result.transactions if t.request.uri.path == "/product/get"
+    )
+    cookie = product.request.headers.get("Cookie")
+    assert cookie and cookie.startswith("bsid=")
+    # the launch feed request predates any Set-Cookie: empty jar
+    feed = runtime.transaction_log[0]
+    assert feed.request.headers.get("Cookie") == ""
+
+
+def test_item_click_id_flows_into_detail_request(env):
+    sim, runtime, _ = env
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        result = yield sim.spawn(runtime.dispatch("select_item", 4))
+        return result
+
+    result = sim.run_process(flow())
+    feed = runtime.transaction_log[0]
+    expected_id = feed.response.body.value["data"]["products"][4]["product_info"]["id"]
+    product = next(
+        t for t in result.transactions if t.request.uri.path == "/product/get"
+    )
+    assert product.request.body.get("cid") == expected_id
+
+
+def test_merchant_chain(env):
+    sim, runtime, _ = env
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield sim.spawn(runtime.dispatch("select_item", 2))
+        result = yield sim.spawn(runtime.dispatch("view_merchant"))
+        return result
+
+    result = sim.run_process(flow())
+    assert runtime.current_screen == "merchant"
+    paths = [t.request.uri.path for t in result.transactions]
+    assert paths[0] == "/api/merchant"
+    assert "/api/ratings/get" in paths
+    assert any(p.startswith("/merchant-img/") for p in paths)
+
+
+def test_side_effect_event_reaches_server(env):
+    sim, runtime, servers = env
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield sim.spawn(runtime.dispatch("select_item", 2))
+        result = yield sim.spawn(runtime.dispatch("buy"))
+        return result
+
+    sim.run_process(flow())
+    api = servers["https://api.wish.com"]
+    assert api.requests_by_route.get("cart-adds") == 1
+
+
+def test_parallel_thumbnails_overlap(env):
+    sim, runtime, _ = env
+    result = sim.run_process(runtime.launch())
+    thumbs = [t for t in result.transactions if t.request.uri.path == "/img"]
+    assert len(thumbs) == 30
+    # overlapping transfers: total wall time far less than serial sum
+    serial_sum = sum(t.elapsed for t in thumbs)
+    window = max(t.finished_at for t in thumbs) - min(t.started_at for t in thumbs)
+    assert window < serial_sum / 2
+
+
+def test_connection_pool_limits_concurrency(env):
+    sim, runtime, _ = env
+    result = sim.run_process(runtime.launch())
+    thumbs = sorted(
+        (t for t in result.transactions if t.request.uri.path == "/img"),
+        key=lambda t: t.finished_at,
+    )
+    # with a 6-connection pool the 30 fetches drain in waves: the last
+    # completion is well after the first (no single simultaneous burst)
+    first_wave = thumbs[5].finished_at
+    assert thumbs[-1].finished_at > first_wave + 0.01
+    # and the 7th cannot complete inside the first wave window
+    assert thumbs[6].finished_at >= first_wave
+
+
+def test_available_events_match_screen(env):
+    sim, runtime, _ = env
+    sim.run_process(runtime.launch())
+    assert set(runtime.available_events()) == {"select_item", "refresh"}
+
+
+def test_index_clamped_to_list_bounds(env):
+    sim, runtime, _ = env
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        result = yield sim.spawn(runtime.dispatch("select_item", 999))
+        return result
+
+    result = sim.run_process(flow())
+    product = next(
+        t for t in result.transactions if t.request.uri.path == "/product/get"
+    )
+    assert product.request.body.get("cid")  # clamped to the last item
+
+
+def test_interaction_log_accumulates(env):
+    sim, runtime, _ = env
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield Delay(1.0)
+        yield sim.spawn(runtime.dispatch("refresh"))
+        return None
+
+    sim.run_process(flow())
+    assert [r.event for r in runtime.interactions] == ["launch", "refresh"]
+    assert len(runtime.transaction_log) == 62  # two feed loads

@@ -1,0 +1,144 @@
+"""Integration tests over the experiment harness.
+
+These assert the *shapes* the paper reports — who wins, roughly by how
+much, and where the knobs move results — on reduced workloads so the
+suite stays fast.
+"""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.scenario import Scenario, prepare_app, scoped_config
+
+
+@pytest.fixture(scope="module")
+def wish():
+    return prepare_app("wish")
+
+
+# -- scenario plumbing --------------------------------------------------------
+def test_prepare_app_cached(wish):
+    assert prepare_app("wish") is wish
+
+
+def test_scoped_config_limits_targets(wish):
+    config = scoped_config(wish.analysis, ["DetailActivity"])
+    for signature in wish.analysis.signatures:
+        policy = config.policy(signature.site)
+        if signature.site.startswith("DetailActivity"):
+            assert policy.prefetch or signature.side_effect is False or True
+        else:
+            assert not policy.prefetch
+
+
+def test_scenario_per_user_runtimes(wish):
+    scenario = Scenario(wish, proxied=True)
+    a = scenario.runtime("u1")
+    b = scenario.runtime("u2")
+    assert a is not b
+    assert scenario.runtime("u1") is a
+
+
+def test_verification_seeds_scenario_learner(wish):
+    scenario = Scenario(wish, proxied=True)
+    host = scenario.proxy.learner.store.tag_value("anyone", "env:config:api_host")
+    assert host == "https://api.wish.com"
+
+
+# -- table/figure runners ------------------------------------------------------
+def test_table1_rows():
+    rows = runner.table1_rows()
+    assert len(rows) == 5
+    assert rows[0] == {
+        "app": "Wish",
+        "category": "Shopping",
+        "main_interaction": "Loads an item detail",
+    }
+
+
+def test_table2_rows_match_paper_rtts():
+    rows = runner.table2_rows()
+    by_app = {}
+    for row in rows:
+        by_app.setdefault(row["app"], []).append(row["rtt_ms"])
+    assert by_app["Wish"] == [165, 16]
+    assert by_app["DoorDash"] == [145, 145]
+    assert by_app["Purple Ocean"] == [230, 15, 15]
+    assert by_app["Postmates"] == [5]
+
+
+def test_fig11_chain_is_successive():
+    chain = runner.fig11_doordash_chain()
+    assert len(chain) >= 4
+    assert chain[0].startswith("StoreListActivity")
+
+
+def test_fig12_fanout_from_single_predecessor():
+    fanout = runner.fig12_wish_fanout()
+    assert max(fanout.values()) >= 3
+
+
+def test_fig13_shape():
+    rows = runner.fig13_main_interaction(runs=3)
+    assert len(rows) == 5
+    for row in rows:
+        # APPx must win on every app, within the paper's broad band
+        assert row["appx"]["latency"] < row["orig"]["latency"]
+        assert 0.10 <= row["reduction"] <= 0.75
+        # the win comes from network delay, not processing
+        assert row["appx"]["network"] < row["orig"]["network"]
+        assert row["appx"]["processing"] == pytest.approx(
+            row["orig"]["processing"]
+        )
+
+
+def test_fig14_launch_improves_less_than_main():
+    launch_rows = {r["app"]: r for r in runner.fig14_app_launch(runs=3)}
+    main_rows = {r["app"]: r for r in runner.fig13_main_interaction(runs=3)}
+    for app, launch in launch_rows.items():
+        assert launch["reduction"] >= -0.01  # never a slowdown
+        assert launch["reduction"] < main_rows[app]["reduction"]
+
+
+def test_fig15_reduction_grows_with_rtt():
+    rows = runner.fig15_percentile_sweep(
+        rtts=(0.05, 0.15), participants=4
+    )
+    by_app = {}
+    for row in rows:
+        by_app.setdefault(row["app"], {})[row["rtt_ms"]] = row
+    for app, result in by_app.items():
+        assert result[150]["reduction"] >= result[50]["reduction"] - 0.02
+        assert result[50]["appx_p90"] <= result[50]["orig_p90"]
+
+
+def test_fig16_usage_and_cdf():
+    rows = runner.fig16_cdf_and_usage(rtts=(0.05,), participants=4)
+    for row in rows:
+        assert row["appx_median"] <= row["orig_median"]
+        assert row["normalized_data_usage"] >= 1.0  # prefetch costs data
+        assert row["normalized_data_usage"] < 20.0
+        assert row["orig_cdf"][-1][1] == 1.0
+
+
+def test_fig17_monotone_tradeoff():
+    rows = runner.fig17_probability_tradeoff(
+        probabilities=(0.0, 0.5, 1.0), participants=4
+    )
+    latencies = [row["median_latency"] for row in rows]
+    usages = [row["normalized_data_usage"] for row in rows]
+    # latency falls (weakly) while data usage rises with probability
+    assert latencies[0] >= latencies[-1]
+    assert usages == sorted(usages)
+    assert usages[0] == pytest.approx(1.0, rel=0.05)
+
+
+def test_table3_appx_dominates():
+    rows = runner.table3_rows(fuzz_duration=120, trace_participants=3)
+    for row in rows:
+        for key in ("signatures", "prefetchable", "dependencies"):
+            assert row["appx"][key] >= row["fuzzing"][key]
+            assert row["appx"][key] >= row["user_study"][key]
+        assert row["appx"]["max_chain"] >= row["fuzzing"]["max_chain"]
+        # background-service signatures are invisible to fuzzing
+        assert row["appx"]["signatures"] > row["fuzzing"]["signatures"]

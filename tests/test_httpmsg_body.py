@@ -1,0 +1,108 @@
+"""Tests for repro.httpmsg.body."""
+
+import pytest
+
+from repro.httpmsg.body import BlobBody, EmptyBody, FormBody, JsonBody, TextBody
+
+
+# -- FormBody -----------------------------------------------------------
+def test_form_repeated_keys():
+    body = FormBody([("_cap[]", "2"), ("_cap[]", "4")])
+    assert body.get_all("_cap[]") == ["2", "4"]
+    assert body.get("_cap[]") == "2"
+
+
+def test_form_set_replaces_first_occurrence():
+    body = FormBody([("k", "1"), ("k", "2")])
+    body.set("k", "9")
+    assert body.get_all("k") == ["9", "2"]
+
+
+def test_form_set_appends_when_missing():
+    body = FormBody()
+    body.set("k", "1")
+    assert body.fields == [("k", "1")]
+
+
+def test_form_remove():
+    body = FormBody([("a", "1"), ("b", "2"), ("a", "3")])
+    body.remove("a")
+    assert body.fields == [("b", "2")]
+
+
+def test_form_keys_deduped_in_order():
+    body = FormBody([("b", "1"), ("a", "2"), ("b", "3")])
+    assert body.keys() == ["b", "a"]
+
+
+def test_form_wire_round_trip():
+    body = FormBody([("cid", "09cf"), ("q", "a b&c")])
+    assert FormBody.parse(body.to_wire()) == body
+
+
+def test_form_values_coerced_to_str():
+    body = FormBody([("n", 30)])
+    assert body.get("n") == "30"
+
+
+def test_form_empty_wire():
+    assert FormBody().to_wire() == ""
+    assert FormBody.parse("") == FormBody()
+
+
+# -- JsonBody -----------------------------------------------------------
+def test_json_round_trip():
+    body = JsonBody({"a": [1, 2, {"b": None}], "c": "x"})
+    assert JsonBody.parse(body.to_wire()) == body
+
+
+def test_json_canonical_key_order():
+    a = JsonBody({"b": 1, "a": 2})
+    b = JsonBody({"a": 2, "b": 1})
+    assert a.to_wire() == b.to_wire()
+    assert a == b
+
+
+def test_json_copy_is_deep():
+    body = JsonBody({"a": {"b": 1}})
+    clone = body.copy()
+    clone.value["a"]["b"] = 2
+    assert body.value["a"]["b"] == 1
+
+
+# -- BlobBody -----------------------------------------------------------
+def test_blob_size_is_wire_size():
+    blob = BlobBody("img-1", 315_000)
+    assert blob.wire_size() == 315_000
+
+
+def test_blob_rejects_negative_size():
+    with pytest.raises(ValueError):
+        BlobBody("x", -1)
+
+
+def test_blob_equality_by_label_and_size():
+    assert BlobBody("a", 10) == BlobBody("a", 10)
+    assert BlobBody("a", 10) != BlobBody("a", 11)
+    assert BlobBody("a", 10) != BlobBody("b", 10)
+
+
+# -- misc ---------------------------------------------------------------
+def test_empty_body():
+    body = EmptyBody()
+    assert body.wire_size() == 0
+    assert body.content_type() is None
+    assert body == EmptyBody()
+
+
+def test_text_body():
+    body = TextBody("hello")
+    assert body.wire_size() == 5
+    assert body.copy() == body
+
+
+def test_content_types():
+    assert FormBody().content_type() == "application/x-www-form-urlencoded"
+    assert JsonBody({}).content_type() == "application/json"
+    assert BlobBody("x", 1).content_type() == "image/jpeg"
+    assert TextBody("t").content_type() == "text/plain"

@@ -1,0 +1,73 @@
+"""Tests for repro.httpmsg.cookies."""
+
+import pytest
+
+from repro.httpmsg.cookies import (
+    CookieJar,
+    format_cookie_header,
+    parse_cookie_header,
+    parse_set_cookie,
+)
+from repro.httpmsg.headers import Headers
+from repro.httpmsg.message import Response
+
+
+def test_parse_cookie_header():
+    assert parse_cookie_header("a=1; b=2") == [("a", "1"), ("b", "2")]
+
+
+def test_parse_cookie_header_empty():
+    assert parse_cookie_header("") == []
+    assert parse_cookie_header("  ;  ") == []
+
+
+def test_format_round_trip():
+    pairs = [("bsid", "c38e"), ("lang", "en")]
+    assert parse_cookie_header(format_cookie_header(pairs)) == pairs
+
+
+def test_parse_set_cookie_with_attributes():
+    name, value, attributes = parse_set_cookie("bsid=c38e; Path=/; Secure")
+    assert (name, value) == ("bsid", "c38e")
+    assert attributes["path"] == "/"
+    assert "secure" in attributes
+
+
+def test_parse_set_cookie_empty_raises():
+    with pytest.raises(ValueError):
+        parse_set_cookie("   ")
+
+
+def test_jar_stores_from_response():
+    jar = CookieJar()
+    response = Response(200, Headers([("Set-Cookie", "bsid=x1")]))
+    jar.store_from_response("https://api.wish.com", response)
+    assert jar.get("https://api.wish.com", "bsid") == "x1"
+    assert jar.cookie_header("https://api.wish.com") == "bsid=x1"
+
+
+def test_jar_isolated_per_origin():
+    jar = CookieJar()
+    jar.set("https://a.com", "k", "1")
+    assert jar.cookie_header("https://b.com") == ""
+
+
+def test_jar_header_sorted_for_determinism():
+    jar = CookieJar()
+    jar.set("https://a.com", "z", "1")
+    jar.set("https://a.com", "a", "2")
+    assert jar.cookie_header("https://a.com") == "a=2; z=1"
+
+
+def test_jar_overwrites_same_name():
+    jar = CookieJar()
+    jar.set("https://a.com", "k", "1")
+    jar.set("https://a.com", "k", "2")
+    assert jar.get("https://a.com", "k") == "2"
+
+
+def test_jar_clear():
+    jar = CookieJar()
+    jar.set("https://a.com", "k", "1")
+    jar.clear()
+    assert jar.cookie_header("https://a.com") == ""

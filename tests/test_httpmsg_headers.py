@@ -1,0 +1,94 @@
+"""Tests for repro.httpmsg.headers."""
+
+from repro.httpmsg.headers import Headers
+
+
+def test_add_and_get_case_insensitive():
+    headers = Headers()
+    headers.add("Content-Type", "application/json")
+    assert headers.get("content-type") == "application/json"
+    assert headers.get("CONTENT-TYPE") == "application/json"
+
+
+def test_get_default_for_missing():
+    headers = Headers()
+    assert headers.get("X-Missing") is None
+    assert headers.get("X-Missing", "fallback") == "fallback"
+
+
+def test_multiple_values_preserved_in_order():
+    headers = Headers()
+    headers.add("Set-Cookie", "a=1")
+    headers.add("Set-Cookie", "b=2")
+    assert headers.get_all("set-cookie") == ["a=1", "b=2"]
+    assert headers.get("Set-Cookie") == "a=1"
+
+
+def test_set_replaces_all_values():
+    headers = Headers([("X", "1"), ("X", "2"), ("Y", "3")])
+    headers.set("x", "9")
+    assert headers.get_all("X") == ["9"]
+    assert headers.get("Y") == "3"
+
+
+def test_remove_keeps_other_headers():
+    headers = Headers([("A", "1"), ("B", "2"), ("A", "3")])
+    headers.remove("a")
+    assert "A" not in headers
+    assert headers.get("B") == "2"
+    assert len(headers) == 1
+
+
+def test_remove_missing_is_noop():
+    headers = Headers([("A", "1")])
+    headers.remove("Z")
+    assert headers.get("A") == "1"
+
+
+def test_names_first_appearance_order():
+    headers = Headers([("B", "1"), ("A", "2"), ("b", "3")])
+    assert headers.names() == ["B", "A"]
+
+
+def test_contains():
+    headers = Headers([("Cookie", "x")])
+    assert "cookie" in headers
+    assert "Cookie" in headers
+    assert "Accept" not in headers
+    assert 42 not in headers
+
+
+def test_equality_ignores_order_and_case():
+    a = Headers([("A", "1"), ("B", "2")])
+    b = Headers([("b", "2"), ("a", "1")])
+    assert a == b
+
+
+def test_inequality_on_different_values():
+    a = Headers([("A", "1")])
+    b = Headers([("A", "2")])
+    assert a != b
+
+
+def test_copy_is_independent():
+    original = Headers([("A", "1")])
+    clone = original.copy()
+    clone.add("B", "2")
+    assert "B" not in original
+
+
+def test_wire_size_counts_all_headers():
+    headers = Headers([("AB", "cd")])
+    # "AB: cd\r\n" = 2 + 2 + 4
+    assert headers.wire_size() == 8
+
+
+def test_iteration_yields_pairs():
+    headers = Headers([("A", "1"), ("B", "2")])
+    assert list(headers) == [("A", "1"), ("B", "2")]
+
+
+def test_values_coerced_to_str():
+    headers = Headers()
+    headers.add("X-Count", 42)
+    assert headers.get("X-Count") == "42"

@@ -1,0 +1,84 @@
+"""Tests for repro.metrics."""
+
+import pytest
+
+from repro.httpmsg.body import BlobBody, JsonBody
+from repro.httpmsg.message import Request, Response, Transaction
+from repro.httpmsg.uri import Uri
+from repro.metrics.stats import (
+    cdf_points,
+    mean,
+    median,
+    percentile,
+    reduction,
+    summarize_latencies,
+)
+from repro.metrics.usage import DataUsage
+
+
+def test_mean_empty_raises():
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 50)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 50) == 5.0
+    assert percentile([1.0, 2.0, 3.0, 4.0], 25) == 1.75
+
+
+def test_median_odd_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([1.0, 2.0, 3.0, 4.0]) == 2.5
+
+
+def test_cdf_points_simple():
+    assert cdf_points([2.0, 1.0]) == [(1.0, 0.5), (2.0, 1.0)]
+
+
+def test_reduction():
+    assert reduction(2.0, 1.0) == 0.5
+    assert reduction(0.0, 1.0) == 0.0
+    assert reduction(1.0, 1.5) == -0.5
+
+
+def test_summarize_latencies_keys():
+    summary = summarize_latencies([1.0, 2.0, 3.0])
+    assert summary["count"] == 3
+    assert summary["mean"] == 2.0
+    assert summary["min"] == 1.0
+    assert summary["max"] == 3.0
+
+
+def make_transaction(size=1000):
+    request = Request("GET", Uri.parse("https://a.com/x"))
+    response = Response(200, body=BlobBody("b", size))
+    return Transaction(request, response)
+
+
+def test_data_usage_counts_both_directions():
+    usage = DataUsage()
+    transaction = make_transaction(1000)
+    usage.add_transactions([transaction])
+    expected = transaction.request.wire_size() + transaction.response.wire_size()
+    assert usage.demand_bytes == expected
+    assert usage.total == expected
+
+
+def test_data_usage_normalization():
+    baseline = DataUsage()
+    baseline.add_transactions([make_transaction(10_000)])
+    heavy = DataUsage()
+    heavy.add_transactions([make_transaction(10_000)])
+    heavy.prefetch_bytes = baseline.total  # same again via prefetch
+    assert heavy.normalized_to(baseline) == pytest.approx(2.0, rel=0.01)
+
+
+def test_data_usage_zero_baseline():
+    assert DataUsage().normalized_to(DataUsage()) == 0.0

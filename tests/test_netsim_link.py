@@ -1,0 +1,119 @@
+"""Tests for links and the direct transport."""
+
+import pytest
+
+from repro.httpmsg.body import JsonBody
+from repro.httpmsg.message import Request, Response
+from repro.httpmsg.uri import Uri
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.netsim.transport import DirectTransport, Endpoint, OriginMap, UnknownOriginError
+
+
+def test_one_way_includes_propagation_and_serialization():
+    link = Link(rtt=0.1, bandwidth_bps=8e6)
+    # 1000 bytes at 8 Mbps = 1 ms, plus rtt/2 = 50 ms
+    assert link.one_way(1000) == pytest.approx(0.051)
+
+
+def test_zero_size_transfer_is_half_rtt():
+    link = Link(rtt=0.2)
+    assert link.one_way(0) == pytest.approx(0.1)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        Link(rtt=-1)
+    with pytest.raises(ValueError):
+        Link(rtt=0.1, bandwidth_bps=0)
+    with pytest.raises(ValueError):
+        Link(rtt=0.1).one_way(-5)
+
+
+def test_unshared_link_ignores_contention():
+    link = Link(rtt=0.0, bandwidth_bps=8e6, shared=False)
+    first = link.transfer_delay(0.0, 1000)
+    second = link.transfer_delay(0.0, 1000)
+    assert first == second == pytest.approx(0.001)
+
+
+def test_shared_link_queues_serialization():
+    link = Link(rtt=0.0, bandwidth_bps=8e6, shared=True)
+    first = link.transfer_delay(0.0, 1000)
+    second = link.transfer_delay(0.0, 1000)
+    assert first == pytest.approx(0.001)
+    assert second == pytest.approx(0.002)  # waits for the first
+
+
+def test_shared_link_idle_gap_resets_queue():
+    link = Link(rtt=0.0, bandwidth_bps=8e6, shared=True)
+    link.transfer_delay(0.0, 1000)
+    later = link.transfer_delay(10.0, 1000)
+    assert later == pytest.approx(0.001)
+
+
+def test_link_reset():
+    link = Link(rtt=0.0, bandwidth_bps=8e6, shared=True)
+    link.transfer_delay(0.0, 100_000)
+    link.reset()
+    assert link.transfer_delay(0.0, 1000) == pytest.approx(0.001)
+
+
+class EchoEndpoint(Endpoint):
+    def __init__(self, service_time=0.05):
+        self.service_time = service_time
+        self.requests = []
+
+    def handle(self, request, user):
+        self.requests.append((request, user))
+        yield Delay(self.service_time)
+        return Response(200, body=JsonBody({"echo": request.uri.path}))
+
+
+def make_transport(sim):
+    origins = OriginMap()
+    endpoint = EchoEndpoint()
+    origins.register("https://a.com", endpoint, Link(rtt=0.1))
+    access = Link(rtt=0.05)
+    return DirectTransport(sim, access, origins), endpoint
+
+
+def test_direct_transport_round_trip_latency():
+    sim = Simulator()
+    transport, endpoint = make_transport(sim)
+    request = Request("GET", Uri.parse("https://a.com/x"))
+
+    def flow():
+        response = yield from transport.send(request, "u1")
+        return response, sim.now
+
+    response, elapsed = sim.run_process(flow())
+    assert response.status == 200
+    # 2 one-way access (0.025 each) + 2 one-way origin (0.05 each)
+    # + 0.05 service + serialization
+    assert elapsed > 0.2
+    assert endpoint.requests[0][1] == "u1"
+
+
+def test_direct_transport_unknown_origin():
+    sim = Simulator()
+    transport, _ = make_transport(sim)
+    request = Request("GET", Uri.parse("https://unknown.com/x"))
+
+    def flow():
+        yield from transport.send(request, "u1")
+
+    with pytest.raises(UnknownOriginError):
+        sim.run_process(flow())
+
+
+def test_origin_map_link_lookup():
+    origins = OriginMap()
+    endpoint = EchoEndpoint()
+    link = Link(rtt=0.123)
+    origins.register("https://a.com", endpoint, link)
+    request = Request("GET", Uri.parse("https://a.com/x"))
+    assert origins.endpoint_for(request) is endpoint
+    assert origins.link_for(request) is link
+    other = Request("GET", Uri.parse("https://b.com/x"))
+    assert origins.endpoint_for(other) is None

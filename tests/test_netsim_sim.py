@@ -1,0 +1,174 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+
+from repro.netsim.sim import Delay, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_delay_advances_clock():
+    sim = Simulator()
+
+    def process():
+        yield Delay(1.5)
+        return sim.now
+
+    assert sim.run_process(process()) == 1.5
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1)
+
+
+def test_child_process_returns_value():
+    sim = Simulator()
+
+    def child():
+        yield Delay(0.1)
+        return "payload"
+
+    def parent():
+        value = yield sim.spawn(child())
+        return value, sim.now
+
+    assert sim.run_process(parent()) == ("payload", 0.1)
+
+
+def test_parallel_children_overlap():
+    sim = Simulator()
+
+    def child(duration):
+        yield Delay(duration)
+        return duration
+
+    def parent():
+        a = sim.spawn(child(1.0))
+        b = sim.spawn(child(2.0))
+        first = yield a
+        second = yield b
+        return first, second, sim.now
+
+    assert sim.run_process(parent()) == (1.0, 2.0, 2.0)
+
+
+def test_waiting_on_triggered_event_resumes_immediately():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("already")
+
+    def process():
+        value = yield event
+        return value
+
+    assert sim.run_process(process()) == "already"
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    event = sim.event()
+
+    def failer():
+        yield Delay(0.1)
+        event.fail(RuntimeError("boom"))
+        return None
+
+    def waiter():
+        yield event
+        return "not reached"
+
+    sim.spawn(failer())
+    process = sim.spawn(waiter())
+    sim.run()
+    assert process.is_error
+    assert isinstance(process.value, RuntimeError)
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+
+
+def test_process_exception_propagates_to_run_process():
+    sim = Simulator()
+
+    def bad():
+        yield Delay(0.1)
+        raise ValueError("bad process")
+
+    with pytest.raises(ValueError):
+        sim.run_process(bad())
+
+
+def test_yielding_garbage_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    with pytest.raises(TypeError):
+        sim.run_process(bad())
+
+
+def test_deterministic_fifo_tiebreak():
+    sim = Simulator()
+    order = []
+
+    def make(name):
+        def process():
+            yield Delay(1.0)
+            order.append(name)
+        return process()
+
+    for name in "abc":
+        sim.spawn(make(name))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+
+    def process():
+        yield Delay(10.0)
+
+    sim.spawn(process())
+    assert sim.run(until=3.0) == 3.0
+    assert sim.now == 3.0
+
+
+def test_timeout_event():
+    sim = Simulator()
+
+    def process():
+        yield sim.timeout(2.5)
+        return sim.now
+
+    assert sim.run_process(process()) == 2.5
+
+
+def test_interrupt_stops_process():
+    sim = Simulator()
+    progressed = []
+
+    def victim():
+        yield Delay(1.0)
+        progressed.append(True)
+
+    process = sim.spawn(victim())
+    process.interrupt()
+    sim.run()
+    assert progressed == []
+    assert not process.triggered
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule(-0.1, lambda: None)

@@ -1,0 +1,115 @@
+"""Tests for the multi-app proxy (§2)."""
+
+import pytest
+
+from repro.analysis import analyze_apk
+from repro.apps import get_app
+from repro.device.runtime import AppRuntime
+from repro.httpmsg.body import JsonBody
+from repro.httpmsg.message import Request, Response
+from repro.httpmsg.uri import Uri
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.netsim.transport import Endpoint, OriginMap
+from repro.proxy import AccelerationProxy
+from repro.proxy.multiapp import MultiAppProxy, MultiAppTransport
+from repro.server.content import Catalog
+
+
+class PlainEndpoint(Endpoint):
+    def handle(self, request, user):
+        yield Delay(0.01)
+        return Response(200, body=JsonBody({"plain": True}))
+
+
+@pytest.fixture()
+def env():
+    sim = Simulator()
+    shared_origins = OriginMap()
+    proxies = {}
+    apks = {}
+    for name in ("wish", "doordash"):
+        spec = get_app(name)
+        app_origins, _ = spec.build_origin_map(sim, Catalog())
+        for origin, endpoint in app_origins.origins().items():
+            shared_origins.register(
+                origin, endpoint, app_origins.link_for(
+                    Request("GET", Uri.parse(origin + "/"))
+                )
+            )
+        analysis = analyze_apk(spec.build_apk())
+        proxies[name] = AccelerationProxy(sim, app_origins, analysis)
+        apks[name] = spec
+    shared_origins.register(
+        "https://other.example", PlainEndpoint(), Link(rtt=0.08)
+    )
+    multi = MultiAppProxy(sim, shared_origins)
+    for name, proxy in proxies.items():
+        multi.register_app(name, proxy)
+    return sim, multi, proxies, apks
+
+
+def run_app(sim, multi, spec, user):
+    runtime = AppRuntime(
+        spec.build_apk(),
+        MultiAppTransport(sim, Link(rtt=0.055, shared=True), multi),
+        sim,
+        spec.default_profile(user),
+    )
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield Delay(6.0)
+        result = yield sim.spawn(runtime.dispatch(*spec.main_flow[-1]))
+        return result
+
+    return sim.run_process(flow())
+
+
+def test_routing_by_origin(env):
+    sim, multi, proxies, apks = env
+    request = Request("GET", Uri.parse("https://api.wish.com/api/get-feed"))
+    assert multi.app_for(request) is proxies["wish"]
+    request = Request("GET", Uri.parse("https://api.doordash.com/v2/stores"))
+    assert multi.app_for(request) is proxies["doordash"]
+    request = Request("GET", Uri.parse("https://other.example/x"))
+    assert multi.app_for(request) is None
+
+
+def test_both_apps_accelerated_through_one_proxy(env):
+    sim, multi, proxies, apks = env
+    run_app(sim, multi, apks["wish"], "alice")
+    run_app(sim, multi, apks["doordash"], "alice")
+    assert proxies["wish"].served_prefetched >= 1
+    assert proxies["doordash"].served_prefetched >= 1
+
+
+def test_state_is_per_app(env):
+    sim, multi, proxies, apks = env
+    run_app(sim, multi, apks["wish"], "alice")
+    # doordash's proxy saw no traffic at all
+    assert proxies["doordash"].forwarded == 0
+    assert len(proxies["doordash"].cache) == 0
+
+
+def test_unknown_origin_passes_through(env):
+    sim, multi, _, _ = env
+    request = Request("GET", Uri.parse("https://other.example/ping"))
+
+    def flow():
+        response = yield sim.spawn(multi.handle_request(request, "u1"))
+        return response
+
+    response = sim.run_process(flow())
+    assert response.status == 200
+    assert response.body.value == {"plain": True}
+    assert multi.passthrough == 1
+
+
+def test_stats_aggregate_per_app(env):
+    sim, multi, proxies, apks = env
+    run_app(sim, multi, apks["wish"], "alice")
+    stats = multi.stats()
+    assert "wish" in stats and "doordash" in stats
+    assert stats["wish"]["forwarded"] > 0
+    assert stats["_passthrough"]["requests"] == 0

@@ -1,0 +1,122 @@
+"""Tests for the §5 periodic prefetch refresher."""
+
+import pytest
+
+from repro.analysis import analyze_apk
+from repro.apps.wish import SPEC as WISH
+from repro.device.runtime import AppRuntime
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.proxy import AccelerationProxy, ProxiedTransport, default_config
+from repro.proxy.refresher import Refresher
+from repro.server.content import Catalog
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return analyze_apk(WISH.build_apk())
+
+
+def build(analysis, expiration=8.0):
+    sim = Simulator()
+    origins, servers = WISH.build_origin_map(sim, Catalog())
+    config = default_config(analysis)
+    for site in config.policies:
+        config.policies[site].expiration_time = expiration
+    proxy = AccelerationProxy(sim, origins, analysis, config=config)
+    runtime = AppRuntime(
+        WISH.build_apk(),
+        ProxiedTransport(sim, Link(rtt=0.055, shared=True), proxy),
+        sim,
+        WISH.default_profile(),
+    )
+    return sim, proxy, runtime
+
+
+def test_refresher_tracks_only_consumed_hits(analysis):
+    sim, proxy, runtime = build(analysis)
+    refresher = Refresher(proxy, min_interval=2.0)
+    proxy.on_cache_hit = refresher.note_served
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield Delay(5.0)
+        yield sim.spawn(runtime.dispatch("select_item", 1))
+        return None
+
+    sim.run_process(flow())
+    assert refresher.tracked >= 1
+    # far fewer tracked than cached: unconsumed prefetches aren't refreshed
+    assert refresher.tracked < len(proxy.cache)
+
+
+def test_refresher_keeps_entries_fresh_across_expiry(analysis):
+    sim, proxy, runtime = build(analysis, expiration=6.0)
+    refresher = Refresher(proxy, min_interval=2.0)
+    proxy.on_cache_hit = refresher.note_served
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield Delay(5.0)
+        first = yield sim.spawn(runtime.dispatch("select_item", 1))
+        # run the refresher while the user idles well past expiry
+        refresh_process = sim.spawn(refresher.run(30.0))
+        yield Delay(31.0)
+        yield refresh_process
+        # back to the feed, open the same item again
+        yield sim.spawn(runtime.launch())
+        yield Delay(1.0)
+        second = yield sim.spawn(runtime.dispatch("select_item", 1))
+        return first, second
+
+    first, second = sim.run_process(flow())
+    assert refresher.refreshed >= 1
+    assert refresher.cycles >= 2
+    # the re-visit hits refreshed entries instead of paying origin RTTs
+    assert second.latency <= first.latency + 0.05
+
+
+def test_refresher_without_runs_lets_entries_expire(analysis):
+    sim, proxy, runtime = build(analysis, expiration=6.0)
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield Delay(5.0)
+        yield sim.spawn(runtime.dispatch("select_item", 1))
+        yield Delay(31.0)
+        yield sim.spawn(runtime.launch())
+        yield Delay(1.0)
+        result = yield sim.spawn(runtime.dispatch("select_item", 1))
+        return result
+
+    sim.run_process(flow())
+    assert proxy.cache.expired_evictions > 0
+
+
+def test_refresher_respects_disabled_policies(analysis):
+    sim, proxy, runtime = build(analysis)
+    refresher = Refresher(proxy, min_interval=1.0)
+    proxy.on_cache_hit = refresher.note_served
+
+    def flow():
+        yield sim.spawn(runtime.launch())
+        yield Delay(5.0)
+        yield sim.spawn(runtime.dispatch("select_item", 1))
+        # operator disables everything mid-flight
+        for site in list(proxy.config.policies):
+            proxy.config.disable(site, "maintenance")
+        done = sim.spawn(refresher.run(10.0))
+        yield done
+        return None
+
+    sim.run_process(flow())
+    assert refresher.refreshed == 0
+
+
+def test_refresh_interval_derived_from_expiration(analysis):
+    sim, proxy, _ = build(analysis, expiration=100.0)
+    refresher = Refresher(proxy, min_interval=5.0)
+    site = analysis.signatures[0].site
+    assert refresher.interval_for(site) == 50.0
+    proxy.config.policy(site).expiration_time = 4.0
+    assert refresher.interval_for(site) == 5.0  # floor at min_interval

@@ -1,0 +1,101 @@
+"""Tests for the testing & verification phase (§4.3)."""
+
+import pytest
+
+from repro.analysis import analyze_apk
+from repro.apps.wish import SPEC as WISH
+from repro.proxy.verification import run_verification
+from repro.server.content import Catalog
+
+
+@pytest.fixture(scope="module")
+def apk():
+    return WISH.build_apk()
+
+
+@pytest.fixture(scope="module")
+def analysis(apk):
+    return analyze_apk(apk)
+
+
+def build_origins_factory(fault=None):
+    def build(sim):
+        origin_map, servers = WISH.build_origin_map(sim, Catalog())
+        if fault is not None:
+            fault(servers)
+        return origin_map
+
+    return build
+
+
+def test_clean_verification_disables_nothing(apk, analysis):
+    config, report = run_verification(
+        apk, analysis, build_origins_factory(),
+        profile=WISH.default_profile("verify-user"),
+        fuzz_duration=30.0, estimate_expiry=False,
+    )
+    assert report.disabled == {}
+    assert report.fuzz_interactions > 1
+    assert report.prefetch_successes
+
+
+def test_failing_endpoint_disabled(apk, analysis):
+    def fault(servers):
+        servers["https://api.wish.com"].force_error("related-get", 500)
+
+    config, report = run_verification(
+        apk, analysis, build_origins_factory(fault),
+        profile=WISH.default_profile("verify-user"),
+        fuzz_duration=30.0, estimate_expiry=False,
+    )
+    related_site = next(s.site for s in analysis.signatures if "onStart#0" in s.site and "Detail" in s.site)
+    assert related_site in report.disabled
+    assert not config.policy(related_site).prefetch
+    assert "failed" in config.policy(related_site).disabled_reason
+
+
+def test_hanging_endpoint_disabled(apk, analysis):
+    def fault(servers):
+        servers["https://api.wish.com"].hang("ratings")
+
+    config, report = run_verification(
+        apk, analysis, build_origins_factory(fault),
+        profile=WISH.default_profile("verify-user"),
+        fuzz_duration=40.0, estimate_expiry=False,
+    )
+    ratings_site = next(
+        s.site for s in analysis.signatures if "MerchantActivity.onStart#1" in s.site
+    )
+    # the hang yields 504s: disabled if the fuzzer reached the merchant page
+    if ratings_site in report.prefetch_errors:
+        assert ratings_site in report.disabled
+
+
+def test_expiry_estimation_orders_by_rotation(apk, analysis):
+    config, report = run_verification(
+        apk, analysis, build_origins_factory(),
+        profile=WISH.default_profile("verify-user"),
+        fuzz_duration=30.0, estimate_expiry=True,
+    )
+    assert report.expiry_estimates
+    # static images never change: probe runs to the cap
+    image_sites = [s for s in report.expiry_estimates if "onStart#1" in s and "Feed" in s]
+    for site in image_sites:
+        assert report.expiry_estimates[site] >= 3600.0
+    # every estimated expiry became the policy default
+    for site, estimate in report.expiry_estimates.items():
+        assert config.policy(site).expiration_time == estimate
+
+
+def test_seed_store_carries_app_level_values(apk, analysis):
+    _, report = run_verification(
+        apk, analysis, build_origins_factory(),
+        profile=WISH.default_profile("verify-user"),
+        fuzz_duration=30.0, estimate_expiry=False,
+    )
+    store = report.seed_store
+    assert store is not None
+    assert store.tag_value("any-user", "env:config:api_host") == "https://api.wish.com"
+    assert store.tag_value("any-user", "env:config:img_host") == "https://img.wish.com"
+    # user-bound state must not leak
+    assert store.tag_value("verify-user", "env:cookie") is None

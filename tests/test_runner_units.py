@@ -1,0 +1,58 @@
+"""Unit tests for experiment-runner internals."""
+
+import pytest
+
+from repro.experiments.runner import _observed_coverage, table1_rows, table2_rows
+from repro.experiments.scenario import Scenario, prepare_app
+from repro.netsim.sim import Delay
+
+
+@pytest.fixture(scope="module")
+def wish():
+    return prepare_app("wish")
+
+
+def test_observed_coverage_empty_runtimes(wish):
+    coverage = _observed_coverage(wish.analysis, [])
+    assert coverage == {
+        "signatures": 0,
+        "prefetchable": 0,
+        "dependencies": 0,
+        "max_chain": 0,
+    }
+
+
+def test_observed_coverage_counts_matched_sites(wish):
+    scenario = Scenario(wish, proxied=False)
+    runtime = scenario.runtime("u1")
+
+    def flow():
+        yield scenario.sim.spawn(runtime.launch())
+        yield Delay(2.0)
+        yield scenario.sim.spawn(runtime.dispatch("select_item", 0))
+        return None
+
+    scenario.sim.run_process(flow())
+    coverage = _observed_coverage(wish.analysis, [runtime])
+    # launch + one detail view: feed, thumbs, product, related, image
+    assert coverage["signatures"] == 5
+    assert coverage["prefetchable"] == 4
+    assert 0 < coverage["dependencies"] < len(wish.analysis.dependencies)
+    assert coverage["max_chain"] >= 2
+
+
+def test_observed_coverage_never_exceeds_static(wish):
+    scenario = Scenario(wish, proxied=False)
+    runtime = scenario.runtime("u1")
+    scenario.sim.run_process(runtime.launch())
+    coverage = _observed_coverage(wish.analysis, [runtime])
+    static = wish.analysis.summary()
+    for key in ("signatures", "prefetchable", "dependencies", "max_chain"):
+        assert coverage[key] <= static[key]
+
+
+def test_table_rows_static_content():
+    assert len(table1_rows()) == 5
+    rows = table2_rows()
+    assert len(rows) == 10  # Table 2 has ten transaction rows
+    assert all(row["rtt_ms"] > 0 for row in rows)
