@@ -7,11 +7,13 @@ Commands::
     verify APP                run testing & verification (phase 2)
     demo APP                  accelerate one session, print the speedup
     experiment NAME           run one table/figure experiment
+    bench                     signature-dispatch microbenchmark
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -144,6 +146,51 @@ def _command_demo(args) -> int:
     return 0
 
 
+def _command_bench(args) -> int:
+    from repro.experiments.matching_bench import run_matching_bench
+
+    if args.requests <= 0:
+        print("bench: --requests must be positive", file=sys.stderr)
+        return 2
+    result = run_matching_bench(total_requests=args.requests, seed=args.seed)
+    workload = result["workload"]
+    naive, indexed = result["naive"], result["indexed"]
+    print(
+        "workload: {} requests over {} signatures ({} apps), {} matched".format(
+            workload["requests"],
+            workload["signatures"],
+            len(workload["apps"]),
+            workload["matched"],
+        )
+    )
+    print(
+        "naive scan:   {:8.1f} regex attempts/request  {:8.3f} s".format(
+            naive["regex_attempts_per_request"], naive["wall_s"]
+        )
+    )
+    print(
+        "indexed path: {:8.1f} regex attempts/request  {:8.3f} s  "
+        "({:.1f} candidates/request, {} memo hits)".format(
+            indexed["regex_attempts_per_request"],
+            indexed["wall_s"],
+            indexed["candidates_per_request"],
+            indexed["memo_hits"],
+        )
+    )
+    print(
+        "regex-attempt ratio: {:.1f}x   wall speedup: {:.1f}x   mismatches: {}".format(
+            result["derived"]["regex_attempt_ratio"],
+            result["derived"]["wall_speedup"],
+            result["differential"]["mismatches"],
+        )
+    )
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote trajectory to {}".format(args.output))
+    return 0 if result["differential"]["mismatches"] == 0 else 1
+
+
 _EXPERIMENTS = {
     "table1": ("table1_rows", {}),
     "table2": ("table2_rows", {}),
@@ -213,6 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment", help="run one table/figure")
     experiment.add_argument("name", help="table1..table3, fig11..fig17")
 
+    bench = commands.add_parser(
+        "bench", help="signature-dispatch microbenchmark (indexed vs naive)"
+    )
+    bench.add_argument("--requests", type=int, default=10_000)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--output",
+        default="BENCH_matching.json",
+        help="trajectory file to write (default: BENCH_matching.json)",
+    )
+
     return parser
 
 
@@ -224,6 +282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _command_verify,
         "demo": _command_demo,
         "experiment": _command_experiment,
+        "bench": _command_bench,
     }
     return handlers[args.command](args)
 

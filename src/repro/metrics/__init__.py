@@ -1,5 +1,7 @@
-"""Measurement helpers: latency statistics and data-usage accounting."""
+"""Measurement helpers: latency statistics, data-usage accounting, and
+hot-path performance counters."""
 
+from repro.metrics.perf import PERF, PerfCounters
 from repro.metrics.stats import (
     cdf_points,
     mean,
@@ -12,6 +14,8 @@ from repro.metrics.usage import DataUsage
 
 __all__ = [
     "DataUsage",
+    "PERF",
+    "PerfCounters",
     "cdf_points",
     "mean",
     "median",

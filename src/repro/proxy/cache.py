@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.httpmsg.message import Request, Response
+from repro.metrics.perf import PERF
 
 
 class CacheEntry:
@@ -57,9 +58,13 @@ class PrefetchCache:
         key = (user, request.exact_key())
         self._entries[key] = CacheEntry(response, site, now, now + ttl)
         self.stored += 1
+        if PERF.enabled:
+            PERF.incr("cache.stores")
 
     def get(self, user: str, request: Request, now: float) -> Optional[CacheEntry]:
         """Exact-match lookup; expired entries are evicted, not served."""
+        if PERF.enabled:
+            PERF.incr("cache.lookups")
         key = (user, request.exact_key())
         entry = self._entries.get(key)
         if entry is None:
@@ -67,7 +72,11 @@ class PrefetchCache:
         if entry.expired(now):
             del self._entries[key]
             self.expired_evictions += 1
+            if PERF.enabled:
+                PERF.incr("cache.expired_on_lookup")
             return None
+        if PERF.enabled:
+            PERF.incr("cache.lookup_hits")
         return entry
 
     def record_hit(self, site: str) -> None:

@@ -13,6 +13,7 @@ responses and learned run-time values until nothing is missing.
 from __future__ import annotations
 
 import re
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.model import (
@@ -29,6 +30,7 @@ from repro.httpmsg.fieldpath import ALL, FieldPath
 from repro.httpmsg.headers import Headers
 from repro.httpmsg.message import Request
 from repro.httpmsg.uri import Uri
+from repro.metrics.perf import PERF
 
 #: tags whose learned values are user-specific, never shared across users
 PER_USER_TAG_PREFIXES = (
@@ -62,28 +64,32 @@ class TemplateMatcher:
                 pattern_parts.append("(.*)")
                 self.group_atoms.append(atom)
         self.pattern = re.compile("".join(pattern_parts))
+        # map top-level group indices: groups open in order; we rely on
+        # our own pattern construction placing one top-level group per
+        # wildcard atom, in order, before any nested groups from AltAtom
+        # regexes. re module numbers groups by opening parenthesis, so
+        # precompute which group number each atom claims (nested-group
+        # counting re-renders option regexes — far too slow per match).
+        self.group_indices: List[int] = []
+        group_index = 1
+        for atom in self.group_atoms:
+            self.group_indices.append(group_index)
+            group_index += 1 + _nested_group_count(atom)
 
     def match(self, text: str) -> Optional[List[Tuple[object, str]]]:
         """Match ``text``; returns [(atom, captured value)] or None.
 
         Alternation groups may contain nested groups; only top-level
         captures are associated with atoms, so nested groups are
-        skipped by position bookkeeping.
+        skipped by the precomputed ``group_indices`` bookkeeping.
         """
         matched = self.pattern.fullmatch(str(text))
         if matched is None:
             return None
-        captures: List[Tuple[object, str]] = []
-        # map top-level group indices: groups open in order; we rely on
-        # our own pattern construction placing one top-level group per
-        # wildcard atom, in order, before any nested groups from AltAtom
-        # regexes. re module numbers groups by opening parenthesis, so
-        # walk and keep those whose span belongs to a yet-unclaimed atom.
-        group_index = 1
-        for atom in self.group_atoms:
-            captures.append((atom, matched.group(group_index) or ""))
-            group_index += 1 + _nested_group_count(atom)
-        return captures
+        return [
+            (atom, matched.group(group_index) or "")
+            for atom, group_index in zip(self.group_atoms, self.group_indices)
+        ]
 
 
 def _nested_group_count(atom: object) -> int:
@@ -100,7 +106,34 @@ class RuntimeSignature:
     def __init__(self, signature: TransactionSignature) -> None:
         self.signature = signature
         self.site = signature.site
+        self.method = signature.request.method
         self.uri_matcher = TemplateMatcher(signature.request.uri)
+        uri_atoms = signature.request.uri.atoms
+        self._specificity = sum(
+            len(str(atom.value))
+            for atom in uri_atoms
+            if isinstance(atom, ConstAtom)
+        )
+        # literal anchors: cheap string checks that must hold before the
+        # full regex can possibly match (prefix/suffix/longest-const)
+        self._uri_is_const = all(isinstance(a, ConstAtom) for a in uri_atoms)
+        prefix_parts: List[str] = []
+        for atom in uri_atoms:
+            if not isinstance(atom, ConstAtom):
+                break
+            prefix_parts.append(str(atom.value))
+        suffix_parts: List[str] = []
+        for atom in reversed(uri_atoms):
+            if not isinstance(atom, ConstAtom):
+                break
+            suffix_parts.append(str(atom.value))
+        self._literal_prefix = "".join(prefix_parts)
+        self._literal_suffix = "".join(reversed(suffix_parts))
+        self._literal_anchor = max(
+            (str(a.value) for a in uri_atoms if isinstance(a, ConstAtom)),
+            key=len,
+            default="",
+        )
         self.field_matchers: Dict[FieldPath, TemplateMatcher] = {
             path: TemplateMatcher(template)
             for path, template in signature.request.fields.items()
@@ -130,36 +163,282 @@ class RuntimeSignature:
 
     def literal_specificity(self) -> int:
         """Total literal characters — used to rank ambiguous matches."""
-        total = 0
-        for atom in self.signature.request.uri.atoms:
-            if isinstance(atom, ConstAtom):
-                total += len(str(atom.value))
-        return total
+        return self._specificity
 
     def matches_request(self, request: Request) -> bool:
-        if request.method != self.signature.request.method:
+        if request.method != self.method:
             return False
-        base_uri = request.uri.origin() + request.uri.path
+        return self.matches_uri(request.uri.origin() + request.uri.path)
+
+    def matches_uri(self, base_uri: str) -> bool:
+        """URI-template match with literal-anchor pre-checks.
+
+        The anchors (leading/trailing/longest constant runs) are
+        necessary conditions of the compiled regex, so rejecting on
+        them never changes the outcome — it only skips the far more
+        expensive ``fullmatch`` for most non-matching candidates.
+        """
+        if PERF.enabled:
+            PERF.incr("matcher.candidate_checks")
+        if self._uri_is_const:
+            return base_uri == self._literal_prefix
+        if (
+            not base_uri.startswith(self._literal_prefix)
+            or not base_uri.endswith(self._literal_suffix)
+            or (self._literal_anchor and self._literal_anchor not in base_uri)
+        ):
+            if PERF.enabled:
+                PERF.incr("matcher.anchor_rejects")
+            return False
+        if PERF.enabled:
+            PERF.incr("matcher.regex_attempts")
         return self.uri_matcher.pattern.fullmatch(base_uri) is not None
 
     def __repr__(self) -> str:
         return "RuntimeSignature({})".format(self.site)
 
 
-class SignatureMatcher:
-    """Regex-based learning-target identification (Fig. 6, step 2)."""
+class _TrieNode:
+    """One segment of the literal-prefix dispatch trie."""
 
-    def __init__(self, signatures: List[RuntimeSignature]) -> None:
+    __slots__ = ("children", "entries")
+
+    def __init__(self) -> None:
+        self.children: Dict[str, "_TrieNode"] = {}
+        #: (original index, signature) pairs whose complete literal
+        #: path segments end at this node
+        self.entries: List[Tuple[int, RuntimeSignature]] = []
+
+
+def _literal_dispatch_key(
+    signature: RuntimeSignature,
+) -> Optional[Tuple[str, Tuple[str, ...]]]:
+    """(origin, complete literal path segments) or None when unindexable.
+
+    Derived only from the *leading run of ConstAtoms* in the URI
+    template, so it is a necessary condition of the compiled regex: a
+    request whose origin or leading path segments diverge from the key
+    can never fullmatch.  A path segment counts as *complete* only when
+    the literal text continues past it with ``/`` (or the template is
+    fully constant) — a trailing partial segment could be extended by
+    the following wildcard, so it is dropped.  Signatures whose host is
+    not fully literal return None and go to the per-method linear
+    fallback bucket.
+    """
+    atoms = signature.signature.request.uri.atoms
+    prefix_parts: List[str] = []
+    for atom in atoms:
+        if not isinstance(atom, ConstAtom):
+            break
+        prefix_parts.append(str(atom.value))
+    full_literal = len(prefix_parts) == len(atoms)
+    prefix = "".join(prefix_parts)
+    marker = prefix.find("://")
+    if marker < 0:
+        return None
+    slash = prefix.find("/", marker + 3)
+    if slash < 0:
+        # the literal text ends inside the authority: host is only
+        # indexable when nothing follows it
+        if not full_literal:
+            return None
+        return prefix, ()
+    origin = prefix[:slash]
+    path = prefix[slash:]
+    segments = [segment for segment in path.split("/") if segment]
+    if segments and not full_literal and not path.endswith("/"):
+        segments.pop()  # partial: the wildcard may extend this segment
+    return origin, tuple(segments)
+
+
+def _required_segments(signature: RuntimeSignature) -> List[str]:
+    """Literal path segments every regex match must contain, complete.
+
+    A run of characters inside a ``ConstAtom`` bounded by ``/`` on both
+    sides (or by the start of the URI string on the left for the first
+    atom, or by the end of the template on the right for the last atom)
+    appears in *every* matching URI as a complete ``/``-delimited
+    token — no wildcard can extend it.  Runs touching a wildcard
+    boundary are excluded: the wildcard could extend them into a longer
+    segment.
+    """
+    atoms = signature.signature.request.uri.atoms
+    segments: List[str] = []
+    for position, atom in enumerate(atoms):
+        if not isinstance(atom, ConstAtom):
+            continue
+        text = str(atom.value)
+        parts = text.split("/")
+        if len(parts) == 1:
+            continue  # no slash: nothing slash-bounded inside this atom
+        for offset, part in enumerate(parts):
+            if not part:
+                continue
+            left_bounded = offset > 0 or position == 0
+            right_bounded = offset < len(parts) - 1 or position == len(atoms) - 1
+            if left_bounded and right_bounded:
+                segments.append(part)
+    return segments
+
+
+#: memo sentinel distinguishing "not cached" from a cached negative
+_MEMO_MISS = object()
+
+
+class SignatureMatcher:
+    """Learning-target identification (Fig. 6, step 2), indexed.
+
+    Four tiers replace the seed's linear regex scan:
+
+    1. a bounded LRU memo of exact ``(method, base-uri) → signature``
+       results, so repeated identical requests cost one dict hit;
+    2. a literal-prefix trie keyed on (method, origin, leading literal
+       path segments) for signatures whose host is fully literal;
+    3. an inverted index on *required literal segments* for
+       wildcard-host signatures (the common shape: the API host is an
+       ``env:config`` wildcard learned at run time, followed by a
+       literal path): each is filed under one ``/``-bounded constant
+       segment that every regex match must contain, so only requests
+       carrying that token ever see the signature.  Signatures with no
+       such segment land in a per-method bucket that is always
+       scanned;
+    4. literal-anchor pre-checks inside
+       :meth:`RuntimeSignature.matches_uri` that reject most surviving
+       candidates before any regex runs.
+
+    The index is *conservative*: every tier only ever prunes
+    candidates that provably cannot fullmatch, and the final ranking
+    (literal specificity, then earliest signature order) runs over the
+    surviving candidates exactly as the naive scan ranks its matches —
+    so :meth:`match` and :meth:`naive_match` are behaviorally
+    identical.  The memo assumes the signature list is fixed after
+    construction (it always is: learners build their matcher once).
+    """
+
+    MEMO_CAPACITY = 4096
+
+    def __init__(
+        self,
+        signatures: List[RuntimeSignature],
+        memo_capacity: int = MEMO_CAPACITY,
+    ) -> None:
         self.signatures = signatures
+        self._memo: "OrderedDict[Tuple[str, str], Optional[RuntimeSignature]]" = (
+            OrderedDict()
+        )
+        self._memo_capacity = memo_capacity
+        #: method → entries with neither a literal host nor a required
+        #: literal segment (checked against every same-method request)
+        self._fallback: Dict[str, List[Tuple[int, RuntimeSignature]]] = {}
+        #: (method, origin) → literal path-segment trie
+        self._tries: Dict[Tuple[str, str], _TrieNode] = {}
+        #: (method, required segment) → wildcard-host entries
+        self._segment_index: Dict[Tuple[str, str], List[Tuple[int, RuntimeSignature]]] = {}
+        for index, signature in enumerate(signatures):
+            entry = (index, signature)
+            key = _literal_dispatch_key(signature)
+            if key is not None:
+                origin, segments = key
+                node = self._tries.setdefault(
+                    (signature.method, origin), _TrieNode()
+                )
+                for segment in segments:
+                    node = node.children.setdefault(segment, _TrieNode())
+                node.entries.append(entry)
+                continue
+            required = _required_segments(signature)
+            if required:
+                # file under the longest required segment: rarest in
+                # practice, and one bucket per signature keeps the
+                # candidate union duplicate-free
+                chosen = max(required, key=len)
+                self._segment_index.setdefault(
+                    (signature.method, chosen), []
+                ).append(entry)
+            else:
+                self._fallback.setdefault(signature.method, []).append(entry)
+
+    # ------------------------------------------------------------------
+    def candidates(
+        self, method: str, base_uri: str
+    ) -> List[Tuple[int, RuntimeSignature]]:
+        """Indexed candidate set — a superset of the true matches."""
+        found = list(self._fallback.get(method, ()))
+        if self._segment_index:
+            # every "/"-delimited token of the full URI string, so that
+            # tokens hiding in the authority (a host equal to a path
+            # literal) are looked up too — required-segment semantics
+            # are defined on the raw string, not the parsed path
+            for token in dict.fromkeys(base_uri.split("/")):
+                if token:
+                    found.extend(self._segment_index.get((method, token), ()))
+        if self._tries:
+            marker = base_uri.find("://")
+            if marker >= 0:
+                slash = base_uri.find("/", marker + 3)
+                origin = base_uri if slash < 0 else base_uri[:slash]
+                path = "" if slash < 0 else base_uri[slash:]
+                node = self._tries.get((method, origin))
+                if node is not None:
+                    found.extend(node.entries)
+                    for segment in path.split("/"):
+                        if not segment:
+                            continue
+                        node = node.children.get(segment)
+                        if node is None:
+                            break
+                        found.extend(node.entries)
+        return found
 
     def match(self, request: Request) -> Optional[RuntimeSignature]:
         """Most-specific signature whose URI pattern matches."""
+        base_uri = request.uri.origin() + request.uri.path
+        perf = PERF.enabled
+        if perf:
+            PERF.incr("matcher.requests")
+        memo_key = (request.method, base_uri)
+        memo_hit = self._memo.get(memo_key, _MEMO_MISS)
+        if memo_hit is not _MEMO_MISS:
+            self._memo.move_to_end(memo_key)
+            if perf:
+                PERF.incr("matcher.memo_hits")
+            return memo_hit
+        best: Optional[RuntimeSignature] = None
+        best_rank = (-1, 0)
+        found = self.candidates(request.method, base_uri)
+        if perf:
+            PERF.incr("matcher.candidates", len(found))
+        for index, candidate in found:
+            if not candidate.matches_uri(base_uri):
+                continue
+            rank = (candidate._specificity, -index)
+            if rank > best_rank:
+                best = candidate
+                best_rank = rank
+        self._memo[memo_key] = best
+        if len(self._memo) > self._memo_capacity:
+            self._memo.popitem(last=False)
+        return best
+
+    def naive_match(self, request: Request) -> Optional[RuntimeSignature]:
+        """Reference linear scan — the seed's exact algorithm.
+
+        Kept as the differential-testing oracle and the counter
+        baseline (one full regex attempt per same-method signature, no
+        index, no memo, no anchor pre-checks).
+        """
+        base_uri = request.uri.origin() + request.uri.path
+        perf = PERF.enabled
         best: Optional[RuntimeSignature] = None
         best_rank = (-1, 0)
         for index, candidate in enumerate(self.signatures):
-            if not candidate.matches_request(request):
+            if request.method != candidate.method:
                 continue
-            rank = (candidate.literal_specificity(), -index)
+            if perf:
+                PERF.incr("matcher.naive_regex_attempts")
+            if candidate.uri_matcher.pattern.fullmatch(base_uri) is None:
+                continue
+            rank = (candidate._specificity, -index)
             if rank > best_rank:
                 best = candidate
                 best_rank = rank
@@ -188,6 +467,18 @@ class ValueStore:
         #: bumped whenever any value changes; pending instances use it
         #: to skip rebuild attempts when nothing new was learned
         self.version = 0
+        #: change listeners, called with a wake key — ``("tag", user,
+        #: tag)`` / ``("field", user, site, path)``, ``user`` None for
+        #: app-level values.  Learners subscribe their pending-instance
+        #: wake index here, so a shared store wakes every learner.
+        self._listeners: List = []
+
+    def add_listener(self, listener) -> None:
+        self._listeners.append(listener)
+
+    def _notify(self, key: Tuple) -> None:
+        for listener in self._listeners:
+            listener(key)
 
     # -- writes ---------------------------------------------------------
     def learn_tag(self, user: str, tag: str, value: str) -> None:
@@ -196,10 +487,12 @@ class ValueStore:
             if self._user_tags.get(key) != value:
                 self._user_tags[key] = value
                 self.version += 1
+                self._notify(("tag", user, tag))
         else:
             if self._global_tags.get(tag) != value:
                 self._global_tags[tag] = value
                 self.version += 1
+                self._notify(("tag", None, tag))
 
     def learn_field(self, user: str, site: str, path: str, value: str, per_user: bool) -> None:
         if per_user:
@@ -207,11 +500,13 @@ class ValueStore:
             if self._user_fields.get(key) != value:
                 self._user_fields[key] = value
                 self.version += 1
+                self._notify(("field", user, site, path))
         else:
             slot = (site, path)
             if self._global_fields.get(slot) != value:
                 self._global_fields[slot] = value
                 self.version += 1
+                self._notify(("field", None, site, path))
 
     def global_snapshot(self) -> "ValueStore":
         """A new store holding only the app-level (non-user) values.
@@ -264,6 +559,10 @@ class RequestInstance:
         #: ``condition`` policies
         self.pred_context: Dict[str, object] = {}
         self._last_attempt: Optional[Tuple] = None
+        #: learner bookkeeping: enqueue order and frozen dedupe key
+        #: (``dep_values`` never change once the instance is queued)
+        self.pending_seq = 0
+        self.pending_key: Optional[Tuple] = None
 
     def fill(self, path: FieldPath, value) -> None:
         self.dep_values[path.to_string()] = str(value)

@@ -22,7 +22,8 @@ cookie yet.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.analysis.model import (
     AltAtom,
@@ -34,6 +35,7 @@ from repro.analysis.model import (
 from repro.httpmsg.cookies import CookieJar
 from repro.httpmsg.fieldpath import FieldPath
 from repro.httpmsg.message import Request, Response, Transaction
+from repro.metrics.perf import PERF
 from repro.proxy.instances import (
     RequestInstance,
     RuntimeSignature,
@@ -88,10 +90,23 @@ class DynamicLearner:
         #: never be reconstructed (§7's comparison)
         self.static_only = static_only
         self.preferred_variant: Dict[Tuple[str, str], frozenset] = {}
-        self._pending: List[RequestInstance] = []
-        self._pending_keys: set = set()
+        # pending-instance state: a FIFO deque for eviction order (may
+        # hold stale entries, skipped lazily), the live-instance map,
+        # and the wake index mapping each missing tag/field key to the
+        # instances blocked on it, so learning a value retries only the
+        # affected instances instead of rescanning the whole list
+        self._queue: Deque[RequestInstance] = deque()
+        self._pending_keys: Dict[Tuple, RequestInstance] = {}
+        self._wake_index: Dict[Tuple, List[RequestInstance]] = {}
+        self._woken: Dict[Tuple, None] = {}  # ordered set of fired keys
+        self._fresh: List[RequestInstance] = []
+        self._enqueue_seq = 0
         self._jars: Dict[str, CookieJar] = {}
         self.observed_count = 0
+        self.wake_events = 0
+        self.wake_retries = 0
+        self.completed_count = 0
+        self.store.add_listener(self._on_value_learned)
 
     # ------------------------------------------------------------------
     def jar(self, user: str) -> CookieJar:
@@ -169,7 +184,12 @@ class DynamicLearner:
                 self.store.learn_tag(user, template.atoms[0].tag, value)
         variant = frozenset(present)
         if variant in set(signature.signature.variants):
-            self.preferred_variant[(user, signature.site)] = variant
+            slot = (user, signature.site)
+            if self.preferred_variant.get(slot) != variant:
+                self.preferred_variant[slot] = variant
+                # a new preferred variant can complete an instance even
+                # without new store values — wake the (user, site) pair
+                self._on_value_learned(("variant", user, signature.site))
 
     def _track_cookies(
         self,
@@ -236,37 +256,140 @@ class DynamicLearner:
         return instances
 
     # ------------------------------------------------------------------
-    # pending-instance management
+    # pending-instance management (wake index)
     # ------------------------------------------------------------------
+    def _on_value_learned(self, key: Tuple) -> None:
+        """Store/variant listener: mark ``key`` for the next drain."""
+        self.wake_events += 1
+        self._woken[key] = None
+
+    def _is_live(self, instance: RequestInstance) -> bool:
+        return self._pending_keys.get(instance.pending_key) is instance
+
+    def _wake_keys(self, instance: RequestInstance) -> Set[Tuple]:
+        """Every store/variant key whose learning could help resolve
+        ``instance`` — a superset, so waking is always sound.
+
+        Mirrors :meth:`RequestInstance.resolve_field`: wildcard atoms
+        read the tag store (and, for single-atom templates, the
+        observed field value); alternations read the observed field
+        value; dependency atoms are bound at spawn time and never wake.
+        """
+        keys: Set[Tuple] = set()
+        signature = instance.signature
+        user = instance.user
+        site = signature.site
+        rows = [("uri", signature.signature.request.uri)]
+        rows.extend(
+            (path_string, template)
+            for _path, path_string, template in signature.field_rows
+        )
+        for path_string, template in rows:
+            for atom in template.atoms:
+                if isinstance(atom, UnknownAtom):
+                    tag_user = user if is_per_user_tag(atom.tag) else None
+                    keys.add(("tag", tag_user, atom.tag))
+                    if len(template.atoms) == 1:
+                        keys.add(("field", user, site, path_string))
+                        keys.add(("field", None, site, path_string))
+                elif isinstance(atom, AltAtom):
+                    keys.add(("field", user, site, path_string))
+                    keys.add(("field", None, site, path_string))
+        if len(signature.signature.variants) > 1:
+            keys.add(("variant", user, site))
+        return keys
+
     def _enqueue(self, instance: RequestInstance) -> None:
         key = instance.dedupe_key()
         if key in self._pending_keys:
             return
-        if len(self._pending) >= MAX_PENDING:
-            dropped = self._pending.pop(0)
-            self._pending_keys.discard(dropped.dedupe_key())
-        self._pending.append(instance)
-        self._pending_keys.add(key)
+        while len(self._pending_keys) >= MAX_PENDING and self._queue:
+            dropped = self._queue.popleft()
+            if self._is_live(dropped):
+                del self._pending_keys[dropped.pending_key]
+        self._enqueue_seq += 1
+        instance.pending_seq = self._enqueue_seq
+        instance.pending_key = key
+        self._queue.append(instance)
+        self._pending_keys[key] = instance
+        for wake_key in self._wake_keys(instance):
+            self._wake_index.setdefault(wake_key, []).append(instance)
+        self._fresh.append(instance)
+        if PERF.enabled:
+            PERF.incr("learner.enqueued")
 
     def _drain_pending(self) -> List[ReadyPrefetch]:
+        """Retry the instances a learned value could have unblocked.
+
+        Only freshly enqueued instances and those registered under a
+        key that fired since the last drain are rebuilt — the seed
+        rescanned the entire pending list on every observation.
+        """
         ready: List[ReadyPrefetch] = []
-        remaining: List[RequestInstance] = []
-        for instance in self._pending:
+        if not self._fresh and not self._woken:
+            return ready
+        candidates: Dict[int, RequestInstance] = {}
+        for instance in self._fresh:
+            candidates[id(instance)] = instance
+        self._fresh = []
+        if self._woken:
+            fired = list(self._woken)
+            self._woken.clear()
+            for wake_key in fired:
+                bucket = self._wake_index.get(wake_key)
+                if bucket is None:
+                    continue
+                live = [i for i in bucket if self._is_live(i)]
+                if live:
+                    self._wake_index[wake_key] = live
+                    for instance in live:
+                        candidates[id(instance)] = instance
+                else:
+                    del self._wake_index[wake_key]
+        # retry in enqueue order so completions surface exactly as the
+        # seed's full-list scan surfaced them
+        for instance in sorted(candidates.values(), key=lambda i: i.pending_seq):
+            if not self._is_live(instance):
+                continue
             preferred = self.preferred_variant.get(
                 (instance.user, instance.signature.site)
             )
+            self.wake_retries += 1
+            if PERF.enabled:
+                PERF.incr("learner.wake_retries")
             request = instance.try_build(self.store, preferred)
-            if request is None:
-                remaining.append(instance)
-            else:
+            if request is not None:
                 ready.append(ReadyPrefetch(instance, request))
-                self._pending_keys.discard(instance.dedupe_key())
-        self._pending = remaining
+                del self._pending_keys[instance.pending_key]
+                self.completed_count += 1
+        # compact the deque once stale (completed/evicted) entries
+        # dominate, keeping eviction amortized O(1)
+        if len(self._queue) > 2 * len(self._pending_keys) + 64:
+            self._queue = deque(i for i in self._queue if self._is_live(i))
         return ready
 
     @property
+    def _pending(self) -> List[RequestInstance]:
+        """Live pending instances in enqueue order (compat view)."""
+        return [i for i in self._queue if self._is_live(i)]
+
+    @property
     def pending_count(self) -> int:
-        return len(self._pending)
+        return len(self._pending_keys)
+
+    def stats(self) -> Dict[str, int]:
+        data = {
+            "observed": self.observed_count,
+            "pending": self.pending_count,
+            "completed": self.completed_count,
+            "wake_events": self.wake_events,
+            "wake_retries": self.wake_retries,
+            "wake_keys": len(self._wake_index),
+            "store_version": self.store.version,
+        }
+        if PERF.enabled:
+            data["perf"] = PERF.snapshot()
+        return data
 
 
 def _scalar_fields(response: Response) -> Dict[str, List]:

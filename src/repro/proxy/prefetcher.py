@@ -17,6 +17,7 @@ import random
 from typing import Dict, Generator, List, Optional, Set, Tuple
 
 from repro.httpmsg.message import Request, Response, Transaction
+from repro.metrics.perf import PERF
 from repro.netsim.sim import Delay, Simulator
 from repro.netsim.transport import OriginMap
 from repro.proxy.cache import PrefetchCache
@@ -94,6 +95,8 @@ class Prefetcher:
     # ------------------------------------------------------------------
     def submit(self, ready: ReadyPrefetch) -> None:
         """Apply the policy gates, then schedule (or queue) the fetch."""
+        if PERF.enabled:
+            PERF.incr("prefetch.submitted")
         site = ready.instance.signature.site
         policy = self.config.policy(site)
         if not policy.prefetch:
@@ -164,6 +167,8 @@ class Prefetcher:
             )
             self.prefetch_bytes += transferred
             self.issued += 1
+            if PERF.enabled:
+                PERF.incr("prefetch.issued")
             elapsed = self.sim.now - started_at
             self._record_response_time(site, elapsed)
             self.sample_requests.setdefault(site, ready.request.copy())

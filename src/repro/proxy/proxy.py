@@ -16,6 +16,7 @@ from typing import Dict, Generator, Optional
 
 from repro.analysis.model import AnalysisResult
 from repro.httpmsg.message import Request, Response, Transaction
+from repro.metrics.perf import PERF
 from repro.netsim.link import Link
 from repro.netsim.sim import Delay, Simulator
 from repro.netsim.transport import OriginMap, Transport
@@ -63,7 +64,8 @@ class AccelerationProxy:
     def handle_request(self, request: Request, user: str) -> Generator:
         """Process: Fig. 10's per-request workflow; returns Response."""
         self.client_bytes += request.wire_size()
-        signature = self.learner.signature_for(request)
+        with PERF.stage("proxy.dispatch"):
+            signature = self.learner.signature_for(request)
         site = signature.site if signature else None
         entry = self.cache.get(user, request, self.sim.now)
         started_at = self.sim.now
@@ -99,7 +101,9 @@ class AccelerationProxy:
             user=user,
             prefetched=prefetched,
         )
-        for ready in self.learner.observe(transaction, user, depth=0):
+        with PERF.stage("proxy.learn"):
+            ready_list = self.learner.observe(transaction, user, depth=0)
+        for ready in ready_list:
             self.prefetcher.submit(ready)
         return response
 
@@ -118,6 +122,9 @@ class AccelerationProxy:
             "cache_entries": len(self.cache),
         }
         data.update(self.prefetcher.stats())
+        data["learner"] = self.learner.stats()
+        if PERF.enabled:
+            data["perf"] = PERF.snapshot()
         return data
 
 

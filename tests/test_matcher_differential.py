@@ -1,0 +1,203 @@
+"""Differential tests: indexed SignatureMatcher ≡ naive linear scan.
+
+The indexed dispatch path (memo + literal-prefix trie +
+required-segment index + anchor pre-checks) must pick exactly the
+signature the seed's linear regex scan picked, including
+most-specific-wins tie-breaks on ambiguous URIs, for any request.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import analyze_apk
+from repro.analysis.model import (
+    AnalysisResult,
+    ConstAtom,
+    RequestTemplate,
+    ResponseTemplate,
+    TransactionSignature,
+    UnknownAtom,
+    ValueTemplate,
+)
+from repro.apps import all_apps
+from repro.experiments.matching_bench import synthesize_workload
+from repro.httpmsg.message import Request
+from repro.httpmsg.uri import Uri
+from repro.proxy.instances import (
+    RuntimeSignature,
+    SignatureMatcher,
+    build_runtime_signatures,
+)
+
+
+def runtime(site, method, atoms):
+    return RuntimeSignature(
+        TransactionSignature(
+            site,
+            RequestTemplate(method=method, uri=ValueTemplate(atoms)),
+            ResponseTemplate(),
+        )
+    )
+
+
+def assert_agreement(matcher, requests):
+    for request in requests:
+        indexed = matcher.match(request)
+        naive = matcher.naive_match(request)
+        assert indexed is naive, "{} {}: indexed={} naive={}".format(
+            request.method,
+            request.uri.to_string(),
+            indexed.site if indexed else None,
+            naive.site if naive else None,
+        )
+
+
+# -- randomized differential over all five bundled apps ----------------------
+@pytest.fixture(scope="module")
+def app_signature_sets():
+    return {
+        name: build_runtime_signatures(analyze_apk(spec.build_apk()))
+        for name, spec in all_apps().items()
+    }
+
+
+def test_five_app_randomized_differential(app_signature_sets):
+    combined = [s for sigs in app_signature_sets.values() for s in sigs]
+    matcher = SignatureMatcher(combined)
+    requests = synthesize_workload(app_signature_sets, 1500, seed=1234)
+    assert_agreement(matcher, requests)
+
+
+def test_per_app_randomized_differential(app_signature_sets):
+    for name, signatures in app_signature_sets.items():
+        matcher = SignatureMatcher(signatures)
+        requests = synthesize_workload({name: signatures}, 300, seed=99)
+        assert_agreement(matcher, requests)
+
+
+def test_mutated_uris_differential(app_signature_sets):
+    """Truncations, extensions, and segment swaps of real URIs."""
+    combined = [s for sigs in app_signature_sets.values() for s in sigs]
+    matcher = SignatureMatcher(combined)
+    rng = random.Random(7)
+    base = synthesize_workload(app_signature_sets, 300, seed=7)
+    mutated = []
+    for request in base:
+        uri = request.uri.copy()
+        segments = uri.path_segments()
+        op = rng.randrange(4)
+        if op == 0 and segments:
+            segments = segments[:-1]  # truncate
+        elif op == 1:
+            segments = segments + ["zz{}".format(rng.randrange(100))]
+        elif op == 2 and segments:
+            index = rng.randrange(len(segments))
+            segments[index] = segments[index][::-1] or "x"
+        else:
+            rng.shuffle(segments)
+        uri.path = "/" + "/".join(segments)
+        mutated.append(Request(request.method, uri))
+    assert_agreement(matcher, mutated)
+
+
+# -- ambiguous-URI tie-breaks -------------------------------------------------
+def test_equal_specificity_earliest_signature_wins():
+    first = runtime("first#0", "GET", [UnknownAtom("h"), ConstAtom("/same/path")])
+    second = runtime("second#0", "GET", [UnknownAtom("h"), ConstAtom("/same/path")])
+    matcher = SignatureMatcher([first, second])
+    request = Request("GET", Uri.parse("https://a.com/same/path"))
+    assert matcher.match(request) is first
+    assert matcher.naive_match(request) is first
+
+
+def test_most_specific_wins_over_generic():
+    generic = runtime("generic#0", "GET", [UnknownAtom("h"), UnknownAtom("x")])
+    specific = runtime(
+        "specific#0", "GET", [UnknownAtom("h"), ConstAtom("/product/get")]
+    )
+    matcher = SignatureMatcher([generic, specific])
+    request = Request("GET", Uri.parse("https://api.a.com/product/get"))
+    assert matcher.match(request) is specific
+    # ...but URIs only the generic pattern matches still resolve to it
+    other = Request("GET", Uri.parse("https://api.a.com/anything/else"))
+    assert matcher.match(other) is generic
+    assert_agreement(matcher, [request, other])
+
+
+def test_literal_host_beats_wildcard_host_on_specificity():
+    wildcard = runtime("wild#0", "GET", [UnknownAtom("h"), ConstAtom("/feed")])
+    literal = runtime("lit#0", "GET", [ConstAtom("https://api.a.com/feed")])
+    matcher = SignatureMatcher([wildcard, literal])
+    request = Request("GET", Uri.parse("https://api.a.com/feed"))
+    assert matcher.match(request) is literal
+    assert_agreement(
+        matcher,
+        [request, Request("GET", Uri.parse("https://other.com/feed"))],
+    )
+
+
+# -- index soundness edges ----------------------------------------------------
+def test_wildcard_can_swallow_host_equal_to_segment_literal():
+    """`.*` may cover scheme+host, leaving a literal that straddles the
+    authority: the request host equals the signature's path literal."""
+    signature = runtime("s#0", "GET", [UnknownAtom("h"), ConstAtom("/b/c")])
+    matcher = SignatureMatcher([signature])
+    request = Request("GET", Uri.parse("https://b/c"))
+    assert matcher.naive_match(request) is signature
+    assert matcher.match(request) is signature
+
+
+def test_wrong_method_never_matches():
+    signature = runtime("s#0", "POST", [UnknownAtom("h"), ConstAtom("/x")])
+    matcher = SignatureMatcher([signature])
+    request = Request("GET", Uri.parse("https://a.com/x"))
+    assert matcher.match(request) is None
+    assert matcher.naive_match(request) is None
+
+
+def test_trailing_partial_segment_not_overpruned():
+    """A literal whose last segment is wildcard-extended must still
+    match URIs where the wildcard lengthens that segment."""
+    signature = runtime(
+        "s#0",
+        "GET",
+        [ConstAtom("https://a.com/pro"), UnknownAtom("rest")],
+    )
+    matcher = SignatureMatcher([signature])
+    hits = [
+        Request("GET", Uri.parse("https://a.com/product/get")),
+        Request("GET", Uri.parse("https://a.com/pro")),
+        Request("GET", Uri.parse("https://a.com/pro/x")),
+    ]
+    misses = [
+        Request("GET", Uri.parse("https://a.com/other")),
+        Request("GET", Uri.parse("https://b.com/product")),
+    ]
+    for request in hits:
+        assert matcher.match(request) is signature
+    for request in misses:
+        assert matcher.match(request) is None
+    assert_agreement(matcher, hits + misses)
+
+
+def test_memo_repeats_and_capacity():
+    signature = runtime("s#0", "GET", [UnknownAtom("h"), ConstAtom("/x")])
+    matcher = SignatureMatcher([signature], memo_capacity=4)
+    request = Request("GET", Uri.parse("https://a.com/x"))
+    for _ in range(3):
+        assert matcher.match(request) is signature
+    # overflow the memo with distinct URIs; results stay correct
+    for index in range(20):
+        uri = Uri.parse("https://a.com/x{}".format(index))
+        got = matcher.match(Request("GET", uri))
+        assert got is None
+    assert len(matcher._memo) <= 4
+    assert matcher.match(request) is signature
+
+
+def test_empty_matcher():
+    matcher = SignatureMatcher([])
+    request = Request("GET", Uri.parse("https://a.com/x"))
+    assert matcher.match(request) is None
+    assert matcher.naive_match(request) is None
