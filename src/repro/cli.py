@@ -7,6 +7,8 @@ Commands::
     verify APP                run testing & verification (phase 2)
     demo APP                  accelerate one session, print the speedup
     experiment NAME           run one table/figure experiment
+    figs [NAME...] --jobs N   run figure sweeps over a process pool
+    cache [--clear]           inspect / clear the analysis artifact cache
     bench                     signature-dispatch microbenchmark
 """
 
@@ -191,6 +193,84 @@ def _command_bench(args) -> int:
     return 0 if result["differential"]["mismatches"] == 0 else 1
 
 
+def _print_rows(rows) -> None:
+    if isinstance(rows, dict):
+        for key, value in rows.items():
+            print("{}: {}".format(key, value))
+    elif isinstance(rows, list) and rows and isinstance(rows[0], dict):
+        for row in rows:
+            print({k: v for k, v in row.items() if not k.endswith("_cdf")})
+    else:
+        print(rows)
+
+
+def _command_figs(args) -> int:
+    from repro.experiments.cache import AnalysisArtifactCache
+    from repro.experiments.parallel import PARALLEL_FIGURES, run_figures
+
+    names = args.names or list(PARALLEL_FIGURES)
+    unknown = [name for name in names if name not in PARALLEL_FIGURES]
+    if unknown:
+        print(
+            "unknown figure(s) {}; choose from {}".format(
+                ", ".join(unknown), ", ".join(PARALLEL_FIGURES)
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    artifact_cache = None
+    if not args.no_cache:
+        artifact_cache = AnalysisArtifactCache(args.cache_dir)
+    params = {
+        "table3": {"fuzz_duration": 300.0, "trace_participants": 6},
+        "fig13": {"runs": 5},
+        "fig14": {"runs": 5},
+        "fig15": {"participants": args.participants},
+        "fig16": {"participants": args.participants},
+        "fig17": {"participants": args.participants},
+    }
+    results = run_figures(
+        names,
+        jobs=args.jobs,
+        params_by_figure=params,
+        artifact_cache=artifact_cache,
+    )
+    for name, rows in results.items():
+        print("== {} ==".format(name))
+        _print_rows(rows)
+    if artifact_cache is not None:
+        print("analysis cache: {}".format(artifact_cache.stats()))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote rows to {}".format(args.output))
+    return 0
+
+
+def _command_cache(args) -> int:
+    from repro.experiments.cache import AnalysisArtifactCache
+
+    artifact_cache = AnalysisArtifactCache(args.cache_dir)
+    if args.clear:
+        removed = artifact_cache.clear()
+        print("removed {} cached artifact(s) from {}".format(removed, artifact_cache.root))
+        return 0
+    if args.invalidate:
+        removed = artifact_cache.invalidate(args.invalidate)
+        print(
+            "removed {} cached artifact(s) for {!r}".format(removed, args.invalidate)
+        )
+        return 0
+    entries = artifact_cache.entries()
+    print("cache dir: {}".format(artifact_cache.root))
+    if not entries:
+        print("(empty)")
+    for file_name, app in entries.items():
+        print("  {:<14} {}".format(app, file_name))
+    return 0
+
+
 _EXPERIMENTS = {
     "table1": ("table1_rows", {}),
     "table2": ("table2_rows", {}),
@@ -219,17 +299,7 @@ def _command_experiment(args) -> int:
         return 2
     function_name, kwargs = _EXPERIMENTS[args.name]
     rows = getattr(runner, function_name)(**kwargs)
-    if isinstance(rows, dict):
-        for key, value in rows.items():
-            print("{}: {}".format(key, value))
-    elif isinstance(rows, list) and rows and isinstance(rows[0], dict):
-        for row in rows:
-            printable = {
-                k: v for k, v in row.items() if not k.endswith("_cdf")
-            }
-            print(printable)
-    else:
-        print(rows)
+    _print_rows(rows)
     return 0
 
 
@@ -260,6 +330,40 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = commands.add_parser("experiment", help="run one table/figure")
     experiment.add_argument("name", help="table1..table3, fig11..fig17")
 
+    figs = commands.add_parser(
+        "figs", help="run figure sweeps over a process pool"
+    )
+    figs.add_argument(
+        "names", nargs="*",
+        help="figures to run (default: table3 fig13..fig17)",
+    )
+    figs.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the scenario fan-out (default: serial)",
+    )
+    figs.add_argument(
+        "--participants", type=int, default=6,
+        help="user-study participants per cell (default: 6)",
+    )
+    figs.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the on-disk analysis artifact cache",
+    )
+    figs.add_argument(
+        "--cache-dir", default=None,
+        help="artifact cache directory (default: REPRO_CACHE_DIR or ~/.cache/repro-appx)",
+    )
+    figs.add_argument("--output", help="also write all rows to this JSON file")
+
+    cache = commands.add_parser(
+        "cache", help="inspect / clear the analysis artifact cache"
+    )
+    cache.add_argument("--clear", action="store_true", help="drop every entry")
+    cache.add_argument(
+        "--invalidate", metavar="APP", help="drop one app's entries"
+    )
+    cache.add_argument("--cache-dir", default=None, help="cache directory")
+
     bench = commands.add_parser(
         "bench", help="signature-dispatch microbenchmark (indexed vs naive)"
     )
@@ -282,6 +386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "verify": _command_verify,
         "demo": _command_demo,
         "experiment": _command_experiment,
+        "figs": _command_figs,
+        "cache": _command_cache,
         "bench": _command_bench,
     }
     return handlers[args.command](args)

@@ -1,0 +1,246 @@
+"""On-disk cache for per-app analysis/verification artifacts.
+
+:func:`repro.experiments.scenario.prepare_app` runs the paper's phases
+1–2 — static analysis plus the verification fuzzing pass — which
+dominate experiment start-up and were previously memoized only
+in-memory, once per process.  This module persists the three artifacts
+a :class:`PreparedApp` is built from (the :class:`AnalysisResult`, the
+generated :class:`ProxyConfig`, and the app-level seed
+:class:`ValueStore`), so worker processes of the parallel experiment
+engine and repeat CLI invocations skip re-analysis and re-fuzzing
+entirely.
+
+Keying and invalidation
+-----------------------
+A cache entry's key hashes, in order:
+
+* :data:`FORMAT_VERSION` — bumped whenever this file's layout or the
+  meaning of the artifacts changes;
+* the app name;
+* every :class:`AnalysisOptions` field (via ``options.to_dict()``, so
+  new switches invalidate automatically);
+* the verification parameters (``fuzz_duration``, ``estimate_expiry``);
+* the app binary's content fingerprint (``ApkFile.fingerprint()``), so
+  editing an app model invalidates its entries.
+
+Entries are one JSON file each, named ``<app>-<key>.json``, written
+atomically (temp file + ``os.replace``) so concurrent pool workers can
+race on the same entry safely.  ``invalidate(name)`` drops one app's
+entries, ``clear()`` drops everything — the explicit escape hatches
+behind ``python -m repro cache --clear`` and the CLI ``--no-cache``
+flag.
+
+The cache is *opt-in* for library callers: the default directory comes
+from ``REPRO_CACHE_DIR`` (or ``~/.cache/repro-appx``), but nothing is
+read or written unless a caller passes ``disk_cache=True`` /
+constructs a cache, or the ``REPRO_ANALYSIS_CACHE`` environment
+variable enables it (the parallel engine sets this up for its
+workers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.pipeline import AnalysisOptions
+from repro.analysis.serialize import dumps as dump_analysis, loads as load_analysis
+from repro.apk.program import ApkFile
+from repro.metrics.perf import PERF
+from repro.proxy.config import ProxyConfig
+from repro.proxy.instances import ValueStore
+
+#: bump to invalidate every existing cache entry
+FORMAT_VERSION = 1
+
+#: environment switch: "1"/"on" enables the default cache dir, a path
+#: enables that directory, "0"/"off"/unset leaves the cache disabled
+ENV_ENABLE = "REPRO_ANALYSIS_CACHE"
+
+#: environment override for the cache directory
+ENV_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    override = os.environ.get(ENV_DIR)
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-appx")
+
+
+def cache_from_environment() -> Optional["AnalysisArtifactCache"]:
+    """The cache the environment asks for, or ``None`` when disabled."""
+    value = os.environ.get(ENV_ENABLE, "")
+    if not value or value.lower() in ("0", "off", "false", "no"):
+        return None
+    if value.lower() in ("1", "on", "true", "yes"):
+        return AnalysisArtifactCache(default_cache_dir())
+    return AnalysisArtifactCache(value)
+
+
+class AnalysisArtifactCache:
+    """Versioned disk cache of (analysis, config, seed-store) bundles."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # -- keying ---------------------------------------------------------
+    def key_for(
+        self,
+        name: str,
+        apk: ApkFile,
+        options: AnalysisOptions,
+        fuzz_duration: float,
+        estimate_expiry: bool,
+    ) -> str:
+        material = json.dumps(
+            {
+                "format": FORMAT_VERSION,
+                "app": name,
+                "options": options.to_dict(),
+                "fuzz_duration": fuzz_duration,
+                "estimate_expiry": estimate_expiry,
+                "code": apk.fingerprint(),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:32]
+
+    def _path_for(self, name: str, key: str) -> str:
+        return os.path.join(self.root, "{}-{}.json".format(name, key))
+
+    # -- read -----------------------------------------------------------
+    def load(
+        self, name: str, key: str
+    ) -> Optional[Tuple["object", ProxyConfig, Optional[ValueStore]]]:
+        """Return ``(analysis, config, seed_store)`` or ``None`` on miss."""
+        path = self._path_for(name, key)
+        try:
+            with open(path, "r") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            if PERF.enabled:
+                PERF.incr("analysis_cache.misses")
+            return None
+        if payload.get("format") != FORMAT_VERSION or payload.get("key") != key:
+            self.misses += 1
+            if PERF.enabled:
+                PERF.incr("analysis_cache.misses")
+            return None
+        analysis = load_analysis(payload["analysis"])
+        config = ProxyConfig.from_json(payload["config"])
+        seed_store: Optional[ValueStore] = None
+        if payload.get("seed_tags") is not None:
+            seed_store = ValueStore()
+            seed_store._global_tags = dict(payload["seed_tags"])
+            seed_store._global_fields = {
+                (site, field_path): value
+                for site, field_path, value in payload["seed_fields"]
+            }
+        self.hits += 1
+        if PERF.enabled:
+            PERF.incr("analysis_cache.hits")
+        return analysis, config, seed_store
+
+    # -- write ----------------------------------------------------------
+    def store(
+        self,
+        name: str,
+        key: str,
+        analysis,
+        config: ProxyConfig,
+        seed_store: Optional[ValueStore],
+    ) -> str:
+        payload = {
+            "format": FORMAT_VERSION,
+            "app": name,
+            "key": key,
+            "analysis": dump_analysis(analysis),
+            "config": config.to_json(),
+            "seed_tags": None,
+            "seed_fields": None,
+        }
+        if seed_store is not None:
+            snapshot = seed_store.global_snapshot()
+            payload["seed_tags"] = dict(snapshot._global_tags)
+            payload["seed_fields"] = sorted(
+                [site, field_path, value]
+                for (site, field_path), value in snapshot._global_fields.items()
+            )
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path_for(name, key)
+        fd, temp_path = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        if PERF.enabled:
+            PERF.incr("analysis_cache.writes")
+        return path
+
+    # -- maintenance ----------------------------------------------------
+    def entries(self) -> Dict[str, str]:
+        """Map of cache file name → app name, for inspection."""
+        found: Dict[str, str] = {}
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return found
+        for file_name in sorted(names):
+            if file_name.endswith(".json"):
+                found[file_name] = file_name.rsplit("-", 1)[0]
+        return found
+
+    def invalidate(self, name: str) -> int:
+        """Drop every entry for one app; returns the number removed."""
+        removed = 0
+        for file_name, app in self.entries().items():
+            if app == name:
+                try:
+                    os.unlink(os.path.join(self.root, file_name))
+                    removed += 1
+                except OSError:
+                    pass
+        if PERF.enabled and removed:
+            PERF.incr("analysis_cache.invalidated", removed)
+        return removed
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        for file_name in self.entries():
+            try:
+                os.unlink(os.path.join(self.root, file_name))
+                removed += 1
+            except OSError:
+                pass
+        if PERF.enabled and removed:
+            PERF.incr("analysis_cache.invalidated", removed)
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "entries": len(self.entries()),
+        }
+
+    def __repr__(self) -> str:
+        return "AnalysisArtifactCache({!r}, {} entries)".format(
+            self.root, len(self.entries())
+        )

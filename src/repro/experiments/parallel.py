@@ -1,0 +1,220 @@
+"""Parallel experiment engine: process-pool scenario fan-out.
+
+Every paper figure is a sweep of independent (app, mode, RTT,
+probability, seed) cells that the serial runners in
+:mod:`repro.experiments.runner` execute one after another.  This
+module decomposes each sweep into its cells (*plan*), executes them
+over a :class:`concurrent.futures.ProcessPoolExecutor` (*execute*),
+and reassembles the rows in canonical order (*merge*), so the parallel
+output is byte-identical to the serial runner's — which therefore
+stays around as the differential oracle, exactly like the naive
+signature scan does for the indexed dispatch path.
+
+Determinism
+-----------
+Cells carry every seed explicitly, share no mutable state, and are
+dispatched with ``Executor.map`` (order-preserving); merging is pure.
+Workers warm their per-app artifacts from the on-disk analysis cache
+(:mod:`repro.experiments.cache`) when one is configured — the
+``_worker_init`` initializer exports it via ``REPRO_ANALYSIS_CACHE``
+so every ``prepare_app`` call inside the pool hits disk instead of
+re-running analysis + verification fuzzing.
+
+Perf accounting
+---------------
+Each cell can return a :data:`PERF` snapshot taken inside the worker;
+the engine folds worker counters into the parent's :data:`PERF` (when
+enabled) under the same names, plus ``experiments.cells`` /
+``experiments.parallel_cells`` on the engine itself.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.registry import all_apps
+from repro.experiments import runner
+from repro.experiments.cache import ENV_ENABLE, AnalysisArtifactCache
+from repro.metrics.perf import PERF
+
+#: figures the engine can fan out, with their cell functions
+_CELL_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "table3": runner.table3_row,
+    "fig13": runner.fig13_row,
+    "fig14": runner.fig14_row,
+    "fig15": runner.fig15_cell,
+    "fig16": runner.fig16_cell,
+    "fig17": runner.fig17_cell,
+    "fig17_baseline": runner.fig17_baseline,
+    "user_study": runner.user_study_run,
+}
+
+#: serial oracles, for callers that want the figure by name
+SERIAL_RUNNERS: Dict[str, Callable[..., Any]] = {
+    "table3": runner.table3_rows,
+    "fig13": runner.fig13_main_interaction,
+    "fig14": runner.fig14_app_launch,
+    "fig15": runner.fig15_percentile_sweep,
+    "fig16": runner.fig16_cdf_and_usage,
+    "fig17": runner.fig17_probability_tradeoff,
+}
+
+PARALLEL_FIGURES: Tuple[str, ...] = (
+    "table3",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+)
+
+#: a work unit: (cell-function name, kwargs, capture-perf flag)
+WorkUnit = Tuple[str, Dict[str, Any], bool]
+
+
+# ======================================================================
+# plan — decompose a sweep into picklable, independent work units
+# ======================================================================
+def plan_cells(figure: str, params: Optional[Dict[str, Any]] = None) -> List[WorkUnit]:
+    """The figure's cells, in the serial runner's canonical order."""
+    params = dict(params or {})
+    params.pop("jobs", None)
+    capture = bool(params.pop("capture_perf", False))
+    apps = params.pop("apps", None)
+    app_names = list(apps) if apps is not None else list(all_apps())
+
+    if figure == "table3":
+        return [
+            ("table3", dict(params, name=name), capture) for name in app_names
+        ]
+    if figure in ("fig13", "fig14"):
+        return [
+            (figure, dict(params, name=name), capture) for name in app_names
+        ]
+    if figure in ("fig15", "fig16"):
+        rtts = params.pop("rtts", (0.050, 0.100, 0.150))
+        return [
+            (figure, dict(params, name=name, rtt=rtt), capture)
+            for name in app_names
+            for rtt in rtts
+        ]
+    if figure == "fig17":
+        probabilities = params.pop(
+            "probabilities", (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
+        )
+        cells: List[WorkUnit] = [("fig17_baseline", dict(params), capture)]
+        cells.extend(
+            ("fig17", dict(params, probability=probability), capture)
+            for probability in probabilities
+        )
+        return cells
+    raise ValueError(
+        "unknown figure {!r}; choose from {}".format(
+            figure, ", ".join(PARALLEL_FIGURES)
+        )
+    )
+
+
+def merge_results(figure: str, results: Sequence[Any]) -> Any:
+    """Reassemble cell results into the serial runner's row list."""
+    if figure == "fig17":
+        baseline_bytes, cells = results[0], list(results[1:])
+        return runner.fig17_finalize(cells, baseline_bytes)
+    return list(results)
+
+
+# ======================================================================
+# execute — the worker side
+# ======================================================================
+def _worker_init(cache_env: Optional[str]) -> None:
+    """Pool initializer: point workers at the engine's artifact cache."""
+    if cache_env:
+        os.environ[ENV_ENABLE] = cache_env
+    else:
+        os.environ.pop(ENV_ENABLE, None)
+
+
+def execute_cell(unit: WorkUnit) -> Tuple[Any, Optional[Dict[str, int]]]:
+    """Run one work unit (in a pool worker or inline)."""
+    kind, kwargs, capture = unit
+    function = _CELL_FUNCTIONS[kind]
+    if not capture:
+        return function(**kwargs), None
+    with PERF.capture() as perf:
+        result = function(**kwargs)
+        snapshot = dict(perf.counters)
+    return result, snapshot
+
+
+# ======================================================================
+# run — the engine
+# ======================================================================
+def run_figure(
+    figure: str,
+    jobs: Optional[int] = None,
+    params: Optional[Dict[str, Any]] = None,
+    artifact_cache: Optional[AnalysisArtifactCache] = None,
+    capture_perf: bool = False,
+) -> Any:
+    """Run one figure's sweep, fanned out over ``jobs`` processes.
+
+    ``jobs=None`` or ``jobs <= 1`` executes the cells in-process (still
+    through the cell/merge decomposition).  ``artifact_cache`` (or an
+    already-exported ``REPRO_ANALYSIS_CACHE``) lets workers load
+    per-app analysis artifacts from disk instead of recomputing them.
+    Output is byte-identical to ``SERIAL_RUNNERS[figure](**params)``.
+    """
+    params = dict(params or {})
+    if capture_perf:
+        params["capture_perf"] = True
+    cells = plan_cells(figure, params)
+    if PERF.enabled:
+        PERF.incr("experiments.cells", len(cells))
+
+    cache_env = None
+    if artifact_cache is not None:
+        cache_env = artifact_cache.root
+    elif os.environ.get(ENV_ENABLE):
+        cache_env = os.environ[ENV_ENABLE]
+
+    if jobs is None or jobs <= 1 or len(cells) <= 1:
+        outcomes = [execute_cell(unit) for unit in cells]
+    else:
+        if PERF.enabled:
+            PERF.incr("experiments.parallel_cells", len(cells))
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(cells)),
+            initializer=_worker_init,
+            initargs=(cache_env,),
+        ) as pool:
+            outcomes = list(pool.map(execute_cell, cells))
+
+    results = [result for result, _ in outcomes]
+    if PERF.enabled:
+        for _, snapshot in outcomes:
+            if snapshot:
+                PERF.merge(snapshot)
+    return merge_results(figure, results)
+
+
+def run_figures(
+    figures: Sequence[str],
+    jobs: Optional[int] = None,
+    params_by_figure: Optional[Dict[str, Dict[str, Any]]] = None,
+    artifact_cache: Optional[AnalysisArtifactCache] = None,
+    capture_perf: bool = False,
+) -> Dict[str, Any]:
+    """Run several figures; returns ``{figure: rows}`` in input order."""
+    params_by_figure = params_by_figure or {}
+    return {
+        figure: run_figure(
+            figure,
+            jobs=jobs,
+            params=params_by_figure.get(figure),
+            artifact_cache=artifact_cache,
+            capture_perf=capture_perf,
+        )
+        for figure in figures
+    }

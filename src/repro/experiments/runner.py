@@ -3,6 +3,13 @@
 Each function returns plain dict/list rows so benchmarks can print
 them and tests can assert on the shapes the paper reports (who wins,
 by roughly what factor, where the crossovers fall).
+
+The sweeps are factored into *cell* functions — one independent
+(app, mode, RTT, probability, seed) unit each, module-level and
+picklable — which the serial runners below iterate in canonical
+order.  :mod:`repro.experiments.parallel` fans the same cells out over
+a process pool and merges in the same order, so the serial functions
+double as the differential oracle for the parallel engine.
 """
 
 from __future__ import annotations
@@ -76,56 +83,67 @@ def _observed_coverage(
     }
 
 
+def table3_row(
+    name: str,
+    fuzz_duration: float = 600.0,
+    trace_participants: int = 10,
+    trace_duration: float = 180.0,
+    seed: int = 3,
+) -> Dict[str, object]:
+    """One Table 3 cell: static vs fuzzing vs user-study for one app."""
+    spec = get_app(name)
+    prepared = prepare_app(name)
+    analysis = prepared.analysis
+    static = analysis.summary()
+
+    # automatic UI fuzzing (Monkey, 500 ms interval)
+    fuzz_scenario = Scenario(prepared, proxied=False)
+    fuzz_runtime = fuzz_scenario.runtime("fuzz-user")
+    fuzzer = MonkeyFuzzer(fuzz_runtime, seed=seed)
+    fuzz_scenario.sim.run_process(fuzzer.run(fuzz_duration))
+    fuzz = _observed_coverage(analysis, [fuzz_runtime])
+
+    # user-study traces
+    trace_scenario = Scenario(prepared, proxied=False)
+    traces = generate_user_study(
+        prepared.apk, participants=trace_participants,
+        duration=trace_duration, seed=seed,
+    )
+    runtimes = []
+
+    def replay_all():
+        processes = []
+        for trace in traces:
+            runtime = trace_scenario.runtime(trace.user)
+            runtimes.append(runtime)
+            processes.append(
+                trace_scenario.sim.spawn(replay_trace(runtime, trace))
+            )
+        for process in processes:
+            yield process
+
+    trace_scenario.sim.run_process(replay_all())
+    study = _observed_coverage(analysis, runtimes)
+
+    return {
+        "app": spec.label,
+        "appx": static,
+        "fuzzing": fuzz,
+        "user_study": study,
+    }
+
+
 def table3_rows(
     fuzz_duration: float = 600.0,
     trace_participants: int = 10,
     trace_duration: float = 180.0,
     seed: int = 3,
+    apps: Optional[Sequence[str]] = None,
 ) -> List[Dict[str, object]]:
-    rows: List[Dict[str, object]] = []
-    for name, spec in all_apps().items():
-        prepared = prepare_app(name)
-        analysis = prepared.analysis
-        static = analysis.summary()
-
-        # automatic UI fuzzing (Monkey, 500 ms interval)
-        fuzz_scenario = Scenario(prepared, proxied=False)
-        fuzz_runtime = fuzz_scenario.runtime("fuzz-user")
-        fuzzer = MonkeyFuzzer(fuzz_runtime, seed=seed)
-        fuzz_scenario.sim.run_process(fuzzer.run(fuzz_duration))
-        fuzz = _observed_coverage(analysis, [fuzz_runtime])
-
-        # user-study traces
-        trace_scenario = Scenario(prepared, proxied=False)
-        traces = generate_user_study(
-            prepared.apk, participants=trace_participants,
-            duration=trace_duration, seed=seed,
-        )
-        runtimes = []
-
-        def replay_all():
-            processes = []
-            for trace in traces:
-                runtime = trace_scenario.runtime(trace.user)
-                runtimes.append(runtime)
-                processes.append(
-                    trace_scenario.sim.spawn(replay_trace(runtime, trace))
-                )
-            for process in processes:
-                yield process
-
-        trace_scenario.sim.run_process(replay_all())
-        study = _observed_coverage(analysis, runtimes)
-
-        rows.append(
-            {
-                "app": spec.label,
-                "appx": static,
-                "fuzzing": fuzz,
-                "user_study": study,
-            }
-        )
-    return rows
+    return [
+        table3_row(name, fuzz_duration, trace_participants, trace_duration, seed)
+        for name in (apps if apps is not None else list(all_apps()))
+    ]
 
 
 # ======================================================================
@@ -170,62 +188,78 @@ def _run_flow(
     return scenario.sim.run_process(flow())
 
 
-def fig13_main_interaction(runs: int = 10) -> List[Dict[str, object]]:
+def fig13_row(name: str, runs: int = 10) -> Dict[str, object]:
+    """One Fig. 13 cell: main-interaction latency for one app."""
+    spec = get_app(name)
+    prepared = prepare_app(name)
+    row: Dict[str, object] = {"app": spec.label}
+    for mode in ("orig", "appx"):
+        scenario = Scenario(
+            prepared,
+            proxied=(mode == "appx"),
+            enabled_classes=spec.main_site_classes or None,
+        )
+        latencies, network, processing = [], [], []
+        for run in range(runs):
+            _, main_result = _run_flow(scenario, "user-{}".format(run), True)
+            latencies.append(main_result.latency)
+            network.append(main_result.network_delay)
+            processing.append(main_result.processing_delay)
+        row[mode] = {
+            "latency": mean(latencies),
+            "network": mean(network),
+            "processing": mean(processing),
+        }
+    row["reduction"] = reduction(row["orig"]["latency"], row["appx"]["latency"])
+    return row
+
+
+def fig13_main_interaction(
+    runs: int = 10, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
     """User-perceived latency of the main interaction, Orig vs APPx."""
-    rows: List[Dict[str, object]] = []
-    for name, spec in all_apps().items():
-        prepared = prepare_app(name)
-        row: Dict[str, object] = {"app": spec.label}
-        for mode in ("orig", "appx"):
-            scenario = Scenario(
-                prepared,
-                proxied=(mode == "appx"),
-                enabled_classes=spec.main_site_classes or None,
-            )
-            latencies, network, processing = [], [], []
-            for run in range(runs):
-                _, main_result = _run_flow(scenario, "user-{}".format(run), True)
-                latencies.append(main_result.latency)
-                network.append(main_result.network_delay)
-                processing.append(main_result.processing_delay)
-            row[mode] = {
-                "latency": mean(latencies),
-                "network": mean(network),
-                "processing": mean(processing),
-            }
-        row["reduction"] = reduction(row["orig"]["latency"], row["appx"]["latency"])
-        rows.append(row)
-    return rows
+    return [
+        fig13_row(name, runs)
+        for name in (apps if apps is not None else list(all_apps()))
+    ]
 
 
-def fig14_app_launch(runs: int = 10) -> List[Dict[str, object]]:
+def fig14_row(name: str, runs: int = 10) -> Dict[str, object]:
+    """One Fig. 14 cell: app-launch latency for one app."""
+    spec = get_app(name)
+    prepared = prepare_app(name)
+    row: Dict[str, object] = {"app": spec.label}
+    for mode in ("orig", "appx"):
+        scenario = Scenario(
+            prepared,
+            proxied=(mode == "appx"),
+            enabled_classes=spec.launch_site_classes or None,
+        )
+        latencies, network, processing = [], [], []
+        for run in range(runs):
+            launch, _ = _run_flow(scenario, "user-{}".format(run), False)
+            latencies.append(launch.latency)
+            network.append(launch.network_delay)
+            processing.append(launch.processing_delay)
+            # a second launch in the same session benefits from the
+            # state learned during the first; measure steady state
+        row[mode] = {
+            "latency": mean(latencies),
+            "network": mean(network),
+            "processing": mean(processing),
+        }
+    row["reduction"] = reduction(row["orig"]["latency"], row["appx"]["latency"])
+    return row
+
+
+def fig14_app_launch(
+    runs: int = 10, apps: Optional[Sequence[str]] = None
+) -> List[Dict[str, object]]:
     """App-launch latency, Orig vs APPx (launch sites prefetchable)."""
-    rows: List[Dict[str, object]] = []
-    for name, spec in all_apps().items():
-        prepared = prepare_app(name)
-        row: Dict[str, object] = {"app": spec.label}
-        for mode in ("orig", "appx"):
-            scenario = Scenario(
-                prepared,
-                proxied=(mode == "appx"),
-                enabled_classes=spec.launch_site_classes or None,
-            )
-            latencies, network, processing = [], [], []
-            for run in range(runs):
-                launch, _ = _run_flow(scenario, "user-{}".format(run), False)
-                latencies.append(launch.latency)
-                network.append(launch.network_delay)
-                processing.append(launch.processing_delay)
-                # a second launch in the same session benefits from the
-                # state learned during the first; measure steady state
-            row[mode] = {
-                "latency": mean(latencies),
-                "network": mean(network),
-                "processing": mean(processing),
-            }
-        row["reduction"] = reduction(row["orig"]["latency"], row["appx"]["latency"])
-        rows.append(row)
-    return rows
+    return [
+        fig14_row(name, runs)
+        for name in (apps if apps is not None else list(all_apps()))
+    ]
 
 
 # ======================================================================
@@ -295,74 +329,88 @@ def user_study_run(
     }
 
 
+def fig15_cell(
+    name: str, rtt: float, participants: int = 10, seed: int = 11
+) -> Dict[str, object]:
+    """One Fig. 15 cell: Orig vs APPx p90 for one (app, RTT) pair."""
+    spec = get_app(name)
+    orig = user_study_run(
+        name, proxied=False, proxy_server_rtt=rtt,
+        participants=participants, seed=seed,
+    )
+    appx = user_study_run(
+        name, proxied=True, proxy_server_rtt=rtt,
+        participants=participants, seed=seed,
+    )
+    orig_p90 = percentile(orig["main_latencies"], 90.0)
+    appx_p90 = percentile(appx["main_latencies"], 90.0)
+    return {
+        "app": spec.label,
+        "rtt_ms": round(rtt * 1000),
+        "orig_p90": orig_p90,
+        "appx_p90": appx_p90,
+        "reduction": reduction(orig_p90, appx_p90),
+    }
+
+
 def fig15_percentile_sweep(
     rtts: Sequence[float] = (0.050, 0.100, 0.150),
     participants: int = 10,
     seed: int = 11,
+    apps: Optional[Sequence[str]] = None,
 ) -> List[Dict[str, object]]:
     """90th-percentile main-interaction latency vs proxy↔server RTT."""
-    rows: List[Dict[str, object]] = []
-    for name, spec in all_apps().items():
-        for rtt in rtts:
-            orig = user_study_run(
-                name, proxied=False, proxy_server_rtt=rtt,
-                participants=participants, seed=seed,
-            )
-            appx = user_study_run(
-                name, proxied=True, proxy_server_rtt=rtt,
-                participants=participants, seed=seed,
-            )
-            orig_p90 = percentile(orig["main_latencies"], 90.0)
-            appx_p90 = percentile(appx["main_latencies"], 90.0)
-            rows.append(
-                {
-                    "app": spec.label,
-                    "rtt_ms": round(rtt * 1000),
-                    "orig_p90": orig_p90,
-                    "appx_p90": appx_p90,
-                    "reduction": reduction(orig_p90, appx_p90),
-                }
-            )
-    return rows
+    return [
+        fig15_cell(name, rtt, participants, seed)
+        for name in (apps if apps is not None else list(all_apps()))
+        for rtt in rtts
+    ]
+
+
+def fig16_cell(
+    name: str, rtt: float, participants: int = 10, seed: int = 11
+) -> Dict[str, object]:
+    """One Fig. 16 cell: CDFs + data usage for one (app, RTT) pair."""
+    spec = get_app(name)
+    orig = user_study_run(
+        name, proxied=False, proxy_server_rtt=rtt,
+        participants=participants, seed=seed,
+    )
+    appx = user_study_run(
+        name, proxied=True, proxy_server_rtt=rtt,
+        participants=participants, seed=seed,
+    )
+    orig_median = median(orig["main_latencies"])
+    appx_median = median(appx["main_latencies"])
+    usage = (
+        appx["server_bytes"] / float(orig["demand_bytes"])
+        if orig["demand_bytes"]
+        else 0.0
+    )
+    return {
+        "app": spec.label,
+        "rtt_ms": round(rtt * 1000),
+        "orig_median": orig_median,
+        "appx_median": appx_median,
+        "median_reduction": reduction(orig_median, appx_median),
+        "orig_cdf": cdf_points(orig["main_latencies"]),
+        "appx_cdf": cdf_points(appx["main_latencies"]),
+        "normalized_data_usage": usage,
+    }
 
 
 def fig16_cdf_and_usage(
     rtts: Sequence[float] = (0.050, 0.100, 0.150),
     participants: int = 10,
     seed: int = 11,
+    apps: Optional[Sequence[str]] = None,
 ) -> List[Dict[str, object]]:
     """Latency CDFs plus normalized data usage per app per RTT."""
-    rows: List[Dict[str, object]] = []
-    for name, spec in all_apps().items():
-        for rtt in rtts:
-            orig = user_study_run(
-                name, proxied=False, proxy_server_rtt=rtt,
-                participants=participants, seed=seed,
-            )
-            appx = user_study_run(
-                name, proxied=True, proxy_server_rtt=rtt,
-                participants=participants, seed=seed,
-            )
-            orig_median = median(orig["main_latencies"])
-            appx_median = median(appx["main_latencies"])
-            usage = (
-                appx["server_bytes"] / float(orig["demand_bytes"])
-                if orig["demand_bytes"]
-                else 0.0
-            )
-            rows.append(
-                {
-                    "app": spec.label,
-                    "rtt_ms": round(rtt * 1000),
-                    "orig_median": orig_median,
-                    "appx_median": appx_median,
-                    "median_reduction": reduction(orig_median, appx_median),
-                    "orig_cdf": cdf_points(orig["main_latencies"]),
-                    "appx_cdf": cdf_points(appx["main_latencies"]),
-                    "normalized_data_usage": usage,
-                }
-            )
-    return rows
+    return [
+        fig16_cell(name, rtt, participants, seed)
+        for name in (apps if apps is not None else list(all_apps()))
+        for rtt in rtts
+    ]
 
 
 def ablation_analysis_rows() -> List[Dict[str, object]]:
@@ -385,34 +433,58 @@ def ablation_analysis_rows() -> List[Dict[str, object]]:
     return rows
 
 
+def fig17_baseline(participants: int = 10, seed: int = 11) -> int:
+    """Fig. 17's normalization cell: unproxied Wish demand bytes."""
+    baseline = user_study_run(
+        "wish", proxied=False, participants=participants, seed=seed
+    )
+    return baseline["demand_bytes"]
+
+
+def fig17_cell(
+    probability: float, participants: int = 10, seed: int = 11
+) -> Dict[str, object]:
+    """One Fig. 17 cell: one prefetch-probability point (un-normalized)."""
+    run = user_study_run(
+        "wish",
+        proxied=True,
+        participants=participants,
+        seed=seed,
+        global_probability=probability,
+    )
+    return {
+        "probability": probability,
+        "median_latency": median(run["main_latencies"]),
+        "server_bytes": run["server_bytes"],
+    }
+
+
+def fig17_finalize(
+    cells: Sequence[Dict[str, object]], baseline_bytes: int
+) -> List[Dict[str, object]]:
+    """Normalize per-probability cells against the baseline demand."""
+    return [
+        {
+            "probability": cell["probability"],
+            "median_latency": cell["median_latency"],
+            "normalized_data_usage": (
+                cell["server_bytes"] / float(baseline_bytes)
+                if baseline_bytes
+                else 0.0
+            ),
+        }
+        for cell in cells
+    ]
+
+
 def fig17_probability_tradeoff(
     probabilities: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0),
     participants: int = 10,
     seed: int = 11,
 ) -> List[Dict[str, object]]:
     """Wish: median latency vs data usage as prefetch probability varies."""
-    baseline = user_study_run(
-        "wish", proxied=False, participants=participants, seed=seed
+    baseline_bytes = fig17_baseline(participants, seed)
+    return fig17_finalize(
+        [fig17_cell(probability, participants, seed) for probability in probabilities],
+        baseline_bytes,
     )
-    baseline_bytes = baseline["demand_bytes"]
-    rows: List[Dict[str, object]] = []
-    for probability in probabilities:
-        run = user_study_run(
-            "wish",
-            proxied=True,
-            participants=participants,
-            seed=seed,
-            global_probability=probability,
-        )
-        rows.append(
-            {
-                "probability": probability,
-                "median_latency": median(run["main_latencies"]),
-                "normalized_data_usage": (
-                    run["server_bytes"] / float(baseline_bytes)
-                    if baseline_bytes
-                    else 0.0
-                ),
-            }
-        )
-    return rows

@@ -25,6 +25,15 @@ class Body:
 
     kind = "abstract"
 
+    #: mutation counter; :meth:`Request.exact_key` stamps its memo with
+    #: it.  Immutable bodies never bump it (the class attribute stays
+    #: 0); mutators call :meth:`touch` or ``self._version += 1``.
+    _version = 0
+
+    def touch(self) -> None:
+        """Record an in-place mutation (e.g. nested JSON writes)."""
+        self._version += 1
+
     def wire_size(self) -> int:
         raise NotImplementedError
 
@@ -85,6 +94,7 @@ class FormBody(Body):
 
     def set(self, key: str, value: str) -> None:
         """Replace the first occurrence of ``key`` (append if absent)."""
+        self._version += 1
         for i, (name, _) in enumerate(self.fields):
             if name == key:
                 self.fields[i] = (key, str(value))
@@ -93,9 +103,11 @@ class FormBody(Body):
 
     def add(self, key: str, value: str) -> None:
         self.fields.append((str(key), str(value)))
+        self._version += 1
 
     def remove(self, key: str) -> None:
         self.fields = [(n, v) for n, v in self.fields if n != key]
+        self._version += 1
 
     def keys(self) -> List[str]:
         seen = set()

@@ -179,11 +179,20 @@ class FieldPath:
             return True
         if self.root == "query":
             key = str(self.parts[0])
-            return _set_nth(message.uri.query, key, self.occurrence, str(value))
+            landed = _set_nth(message.uri.query, key, self.occurrence, str(value))
+            if landed:
+                message.uri.touch()  # in-place list write; bump exact_key stamp
+            return landed
         if self.root == "uri":
-            return self._assign_uri(message.uri, value)
+            landed = self._assign_uri(message.uri, value)
+            if landed:
+                message.uri.touch()
+            return landed
         if self.root == "body":
-            return self._assign_body(message, value)
+            landed = self._assign_body(message, value)
+            if landed:
+                message.body.touch()  # covers nested JSON writes too
+            return landed
         return False
 
     def _assign_uri(self, uri: Any, value: Any) -> bool:

@@ -12,6 +12,10 @@ class Headers:
     ``Set-Cookie`` and for APPx's ``add_header`` configuration policy).
     """
 
+    #: mutation counter; :meth:`Request.exact_key` stamps its memo with
+    #: it, so every mutator must bump it
+    _version = 0
+
     def __init__(self, items: Optional[List[Tuple[str, str]]] = None) -> None:
         self._items: List[Tuple[str, str]] = []
         self._index: Dict[str, List[int]] = {}
@@ -27,6 +31,7 @@ class Headers:
         """
         self._index.setdefault(name.lower(), []).append(len(self._items))
         self._items.append((name, str(value).strip()))
+        self._version += 1
 
     def set(self, name: str, value: str) -> None:
         """Replace all values of ``name`` with a single ``value``."""
@@ -43,6 +48,7 @@ class Headers:
         self._index = {}
         for item_name, item_value in kept:
             self.add(item_name, item_value)
+        self._version += 1
 
     def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
         """Return the first value of ``name``, or ``default``."""

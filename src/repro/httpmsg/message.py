@@ -21,7 +21,19 @@ class Request:
     response in place of the origin server (§4.5: "the proxy sends the
     response only when the prefetch request is identical to the
     client's request").
+
+    :meth:`exact_key` is memoized on the instance: the proxy computes
+    it on every prefetch submit, duplicate check, cache probe, and
+    in-flight discard, almost always on a request that has not changed
+    since the last call.  The cache is stamped with the component
+    mutation counters (``Headers._version`` / ``Uri._version`` /
+    ``Body._version``) plus the method string, so any mutation through
+    the component mutators — or through :meth:`FieldPath.assign`, which
+    bumps the counters for its in-place writes — recomputes the key.
     """
+
+    #: memoized (stamp, digest) pair from the last exact_key() call
+    _key_cache = None
 
     def __init__(
         self,
@@ -52,6 +64,15 @@ class Request:
 
     def exact_key(self) -> str:
         """Stable digest of the full request — the prefetch-cache key."""
+        stamp = (
+            self.method,
+            self.headers._version,
+            self.uri._version,
+            self.body._version,
+        )
+        cached = self._key_cache
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
         hasher = hashlib.sha256()
         hasher.update(self.method.encode())
         hasher.update(b"\0")
@@ -62,7 +83,9 @@ class Request:
                 hasher.update("{}:{}".format(name, value).encode())
                 hasher.update(b"\0")
         hasher.update(self.body.to_wire().encode())
-        return hasher.hexdigest()
+        key = hasher.hexdigest()
+        self._key_cache = (stamp, key)
+        return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Request):

@@ -46,7 +46,16 @@ def unquote(text: str) -> str:
 
 
 class Uri:
-    """Structured URI with canonical string form."""
+    """Structured URI with canonical string form.
+
+    ``_version`` is the mutation counter :meth:`Request.exact_key`
+    stamps its memo with.  In-place mutators (:meth:`query_set`, plus
+    the :meth:`FieldPath.assign` write paths, which poke attributes and
+    the query list directly) bump it via :meth:`touch`.
+    """
+
+    #: mutation counter for exact_key memoization
+    _version = 0
 
     def __init__(
         self,
@@ -101,11 +110,16 @@ class Uri:
         return default
 
     def query_set(self, key: str, value: str) -> None:
+        self._version += 1
         for i, (name, _) in enumerate(self.query):
             if name == key:
                 self.query[i] = (key, str(value))
                 return
         self.query.append((key, str(value)))
+
+    def touch(self) -> None:
+        """Record an out-of-band mutation (direct attribute writes)."""
+        self._version += 1
 
     def query_dict(self) -> Dict[str, str]:
         return {name: value for name, value in self.query}

@@ -63,6 +63,25 @@ class PerfCounters:
         if self.enabled:
             self.counters[name] = self.counters.get(name, 0) + amount
 
+    def peak(self, name: str, value: int) -> None:
+        """Record a high-water mark (keeps the max seen under ``name``)."""
+        if self.enabled and value > self.counters.get(name, 0):
+            self.counters[name] = value
+
+    def merge(self, counters: Dict[str, int]) -> None:
+        """Fold a counter snapshot in (used for worker-process results).
+
+        Plain counters add; ``*_peak`` names keep the maximum, matching
+        :meth:`peak` semantics.
+        """
+        if not self.enabled:
+            return
+        for name, value in counters.items():
+            if name.endswith("_peak"):
+                self.peak(name, value)
+            else:
+                self.counters[name] = self.counters.get(name, 0) + value
+
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
         """Accumulate wall-clock time under ``name`` while enabled."""

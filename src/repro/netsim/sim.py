@@ -10,12 +10,43 @@ A *process* is a generator.  Each ``yield`` hands the simulator one of:
 ``return value`` inside a process delivers ``value`` to whoever waits
 on it.  The scheduler is deterministic: ties in time break by
 scheduling order.
+
+Fast path
+---------
+The hot loop avoids the heap for the dominant event class.  Almost
+every scheduling operation is zero-delay — process starts, event
+triggers, resumes after a child completes — and those land on a FIFO
+ring (:attr:`Simulator._ready`) instead of the time heap, turning two
+``O(log n)`` heap operations into ``O(1)`` appends/pops.  Entries on
+both structures carry ``(time, sequence)`` so the merged pop order is
+*exactly* the order the pure-heap scheduler would produce.
+
+On top of that, ``yield sim.spawn(child)`` takes an inline-completion
+fast path: when the parent suspends on a child whose queued start is
+the next runnable entry (the common case for ``origin_fetch`` →
+``endpoint.handle`` chains), the child's first step runs inline —
+exactly the entry the scheduler would pop next, minus the queue
+round-trip — and when the child finishes without blocking, its
+completion value is already latched by the time the parent registers
+as a waiter.
+
+``Simulator(fast_path=False)`` disables both optimizations and runs
+the original heap-only loop — kept as the differential oracle
+(``tests/test_sim_fast_path.py`` replays full workloads in both modes
+and asserts identical outcomes).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.metrics.perf import PERF
+
+#: bound on nested inline spawn chains (flow → launch → transport →
+#: origin handler ...); deeper chains fall back to the ready ring
+_MAX_INLINE_DEPTH = 64
 
 
 class Delay:
@@ -34,6 +65,8 @@ class Delay:
 
 class Event:
     """One-shot event; processes wait on it, someone triggers it."""
+
+    __slots__ = ("sim", "triggered", "value", "is_error", "_waiters")
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
@@ -71,38 +104,43 @@ class Event:
 class Process(Event):
     """A running generator; also an event that fires on completion."""
 
+    __slots__ = ("_generator", "alive")
+
     def __init__(self, sim: "Simulator", generator: Generator) -> None:
         super().__init__(sim)
         self._generator = generator
         self.alive = True
 
     def _start(self) -> None:
-        if not self.alive:
-            return
-        self._step(lambda: next(self._generator))
+        if self.alive:
+            self._advance(None, False)
 
     def _resume(self, value: Any, is_error: bool) -> None:
-        if not self.alive:
-            return
-        if is_error:
-            self._step(lambda: self._generator.throw(value))
-        else:
-            self._step(lambda: self._generator.send(value))
+        if self.alive:
+            self._advance(value, is_error)
 
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _advance(self, value: Any, is_error: bool) -> None:
+        """Run one step of the generator (no per-step closures)."""
+        generator = self._generator
         try:
-            yielded = advance()
+            if is_error:
+                yielded = generator.throw(value)
+            else:
+                # send(None) on a fresh generator == next(generator)
+                yielded = generator.send(value)
         except StopIteration as stop:
             self.alive = False
-            self.succeed(getattr(stop, "value", None))
+            self.succeed(stop.value)
             return
         except Exception as error:
             self.alive = False
             self.fail(error)
             return
-        if isinstance(yielded, Delay):
+        if yielded.__class__ is Delay:
             self.sim.schedule(yielded.seconds, self._resume, None, False)
         elif isinstance(yielded, Event):
+            if yielded.__class__ is Process and not yielded.triggered:
+                self.sim._inline_start(yielded)
             yielded._add_waiter(self)
         else:
             self.alive = False
@@ -119,6 +157,8 @@ class Process(Event):
 class Timeout(Event):
     """Event that fires after a fixed interval (composable wait)."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", seconds: float) -> None:
         super().__init__(sim)
         sim.schedule(seconds, self._fire)
@@ -129,12 +169,27 @@ class Timeout(Event):
 
 
 class Simulator:
-    """Deterministic discrete-event loop with a virtual clock."""
+    """Deterministic discrete-event loop with a virtual clock.
 
-    def __init__(self) -> None:
+    ``fast_path=False`` reverts to the heap-only scheduler (the
+    differential oracle); the default fast path is observationally
+    identical — same callback order, same virtual timestamps.
+    """
+
+    #: process-wide default for ``Simulator()`` — tests flip this to
+    #: run whole experiment pipelines under the compat scheduler
+    default_fast_path = True
+
+    def __init__(self, fast_path: Optional[bool] = None) -> None:
         self._now = 0.0
         self._sequence = 0
         self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        #: zero-delay FIFO ring; entries are (time, seq, callback, args)
+        self._ready: "deque[Tuple[float, int, Callable, tuple]]" = deque()
+        self.fast_path = (
+            Simulator.default_fast_path if fast_path is None else fast_path
+        )
+        self._inline_depth = 0
 
     @property
     def now(self) -> float:
@@ -144,13 +199,50 @@ class Simulator:
         if delay < 0:
             raise ValueError("cannot schedule in the past")
         self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback, args))
+        if delay == 0.0 and self.fast_path:
+            self._ready.append((self._now, self._sequence, callback, args))
+        else:
+            heapq.heappush(
+                self._queue, (self._now + delay, self._sequence, callback, args)
+            )
 
     def spawn(self, generator: Generator) -> Process:
         """Start a process now; returns its completion event."""
         process = Process(self, generator)
         self.schedule(0.0, process._start)
         return process
+
+    def _inline_start(self, process: Process) -> None:
+        """Inline-completion fast path for ``yield sim.spawn(child)``.
+
+        Called as the parent suspends on a not-yet-started child.  When
+        the child's queued start entry is the next runnable entry —
+        head of the ready ring with no earlier heap entry — the
+        scheduler would pop it the moment the parent's step returns, so
+        running it here is observationally identical and skips the
+        queue round-trip.  Nested ``spawn`` chains inline recursively
+        up to ``_MAX_INLINE_DEPTH``.
+        """
+        if not self.fast_path or self._inline_depth >= _MAX_INLINE_DEPTH:
+            return
+        ready = self._ready
+        if not ready:
+            return
+        head = ready[0]
+        callback = head[2]
+        if getattr(callback, "__self__", None) is not process:
+            return
+        queue = self._queue
+        if queue and (queue[0][0], queue[0][1]) <= (head[0], head[1]):
+            return
+        ready.popleft()
+        if PERF.enabled:
+            PERF.incr("sim.inline_starts")
+        self._inline_depth += 1
+        try:
+            process._start()
+        finally:
+            self._inline_depth -= 1
 
     def event(self) -> Event:
         return Event(self)
@@ -160,13 +252,30 @@ class Simulator:
 
     def run(self, until: Optional[float] = None) -> float:
         """Drain the event queue (optionally stopping at time ``until``)."""
-        while self._queue:
-            when, _, callback, args = self._queue[0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            heapq.heappop(self._queue)
+        ready = self._ready
+        queue = self._queue
+        perf = PERF
+        while ready or queue:
+            # The next entry is the earliest (time, seq) across both
+            # structures; ready entries were scheduled at their recorded
+            # time, so the merged order matches the pure-heap scheduler.
+            if ready and (
+                not queue or (queue[0][0], queue[0][1]) > (ready[0][0], ready[0][1])
+            ):
+                when = ready[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                _, _, callback, args = ready.popleft()
+            else:
+                when = queue[0][0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                _, _, callback, args = heapq.heappop(queue)
             self._now = when
+            if perf.enabled:
+                perf.incr("sim.events")
             callback(*args)
         return self._now
 

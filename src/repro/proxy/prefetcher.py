@@ -139,6 +139,8 @@ class Prefetcher:
             heapq.heappush(
                 self._waiting, (-self._priority(site), self._sequence, ready)
             )
+            if PERF.enabled:
+                PERF.peak("prefetch.queue_peak", len(self._waiting))
 
     def _priority(self, site: str) -> float:
         if not self.priority_enabled:
@@ -212,6 +214,21 @@ class Prefetcher:
         self._response_samples[site] = samples + 1
 
     def _drain(self) -> None:
+        if self._active >= self.max_concurrent or not self._waiting:
+            return
+        if self.priority_enabled:
+            # Queued entries keep the priority computed at enqueue time,
+            # but ``avg_response_time`` and the hit rate have moved since
+            # (a fetch just completed — that is what triggered this
+            # drain).  Re-rank from the *current* §5 signals so
+            # long-queued requests drain in today's order, not the order
+            # of whenever they arrived.  Sequence numbers are kept so
+            # equal priorities still break ties FIFO.
+            self._waiting = [
+                (-self._priority(ready.instance.signature.site), seq, ready)
+                for _, seq, ready in self._waiting
+            ]
+            heapq.heapify(self._waiting)
         while self._active < self.max_concurrent and self._waiting:
             _, _, ready = heapq.heappop(self._waiting)
             self._start(ready)

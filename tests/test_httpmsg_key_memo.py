@@ -1,0 +1,99 @@
+"""Request.exact_key() memoization: cached, and invalidated on mutation.
+
+The memo contract: ``exact_key()`` may serve a cached digest only while
+the (method, headers, uri, body) version stamp is unchanged; any
+mutation — through the component mutators or through
+``FieldPath.assign`` — must produce the same key a fresh, uncached
+request would.
+"""
+
+from repro.httpmsg.body import FormBody, JsonBody
+from repro.httpmsg.fieldpath import FieldPath
+from repro.httpmsg.headers import Headers
+from repro.httpmsg.message import Request
+from repro.httpmsg.uri import Uri
+
+
+def make_request():
+    return Request(
+        method="POST",
+        uri=Uri.parse("https://api.wish.com/product/get?v=2"),
+        headers=Headers([("Cookie", "bsid=1")]),
+        body=FormBody([("cid", "09cf")]),
+    )
+
+
+def fresh_key(request):
+    """The key an uncached request with this exact content computes."""
+    return request.copy().exact_key()
+
+
+def test_key_is_cached_until_mutation():
+    request = make_request()
+    first = request.exact_key()
+    assert request._key_cache is not None
+    assert request.exact_key() == first == fresh_key(request)
+
+
+def test_copy_does_not_share_the_memo():
+    request = make_request()
+    request.exact_key()
+    duplicate = request.copy()
+    duplicate.body.set("cid", "ffff")
+    assert duplicate.exact_key() != request.exact_key()
+    assert request.exact_key() == fresh_key(request)
+
+
+def test_header_mutations_invalidate():
+    request = make_request()
+    before = request.exact_key()
+    request.headers.add("X-Extra", "1")
+    assert request.exact_key() != before
+    assert request.exact_key() == fresh_key(request)
+    request.headers.remove("X-Extra")
+    assert request.exact_key() == fresh_key(request)
+
+
+def test_uri_and_body_mutations_invalidate():
+    request = make_request()
+    before = request.exact_key()
+    request.uri.query_set("v", "3")
+    after_query = request.exact_key()
+    assert after_query != before
+    request.body.set("cid", "beef")
+    assert request.exact_key() != after_query
+    assert request.exact_key() == fresh_key(request)
+
+
+def test_method_change_invalidates():
+    request = make_request()
+    before = request.exact_key()
+    request.method = "GET"
+    assert request.exact_key() != before
+    assert request.exact_key() == fresh_key(request)
+
+
+def test_fieldpath_assign_invalidates_query_body_and_method():
+    request = make_request()
+    for path, value in (
+        ("query.v", "9"),
+        ("body.cid", "feed"),
+        ("method", "PUT"),
+        ("uri.host", "api2.wish.com"),
+    ):
+        before = request.exact_key()
+        assert FieldPath.parse(path).assign(request, value)
+        assert request.exact_key() != before, path
+        assert request.exact_key() == fresh_key(request), path
+
+
+def test_fieldpath_assign_invalidates_nested_json_body():
+    request = Request(
+        method="POST",
+        uri=Uri.parse("https://api.wish.com/cart/update"),
+        body=JsonBody({"item": {"id": "1", "qty": 2}}),
+    )
+    before = request.exact_key()
+    assert FieldPath.parse("body.item.id").assign(request, "42")
+    assert request.exact_key() != before
+    assert request.exact_key() == fresh_key(request)

@@ -207,3 +207,41 @@ def test_add_header_only_on_wire_copy():
     # request will match
     assert cache.contains_fresh("u1", ready.request, sim.now)
     assert "X-APPx" not in ready.request.headers
+
+
+def test_drain_reranks_from_current_priorities():
+    # enqueue three sites while all priorities are equal (no samples
+    # yet), then move the running averages before anything drains: the
+    # queue must drain in *today's* order, not the enqueue-time order
+    sim, endpoint, cache, config, prefetcher = make_environment(max_concurrent=1)
+    prefetcher.submit(ready_for("hold#0", "/hold"))  # occupies the slot
+    prefetcher.submit(ready_for("a#0", "/a"))
+    prefetcher.submit(ready_for("b#0", "/b"))
+    prefetcher.submit(ready_for("c#0", "/c"))
+    prefetcher.avg_response_time["c#0"] = 1.0
+    prefetcher.avg_response_time["b#0"] = 0.5
+    prefetcher.avg_response_time["a#0"] = 0.1
+    sim.run()
+    assert endpoint.order == ["/hold", "/c", "/b", "/a"]
+
+
+def test_drain_rerank_keeps_fifo_ties():
+    sim, endpoint, cache, config, prefetcher = make_environment(max_concurrent=1)
+    prefetcher.submit(ready_for("hold#0", "/hold"))
+    for i in range(4):
+        prefetcher.submit(ready_for("tie#0", "/t{}".format(i)))
+    sim.run()
+    assert endpoint.order == ["/hold", "/t0", "/t1", "/t2", "/t3"]
+
+
+def test_queue_peak_perf_counter():
+    from repro.metrics.perf import PERF
+
+    sim, endpoint, cache, config, prefetcher = make_environment(max_concurrent=1)
+    with PERF.capture():
+        prefetcher.submit(ready_for("hold#0", "/hold"))
+        for i in range(3):
+            prefetcher.submit(ready_for("q#0", "/q{}".format(i)))
+        peak = PERF.get("prefetch.queue_peak")
+        sim.run()
+        assert PERF.get("prefetch.queue_peak") == peak == 3
