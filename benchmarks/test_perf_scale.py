@@ -1,0 +1,92 @@
+"""Serving-core scale benchmark: per-request wall cost vs population.
+
+Sweeps the ``repro scale`` open-loop harness over N ∈ {100, 1k, 10k}
+users sharing one :class:`MultiAppProxy`, holding the expected request
+volume per cell constant (duration ∝ 1/N) so the cells compare
+per-request *cost*, not workload size.  The tentpole claim asserted
+here: with the sharded timer-wheel cache and the lazy prefetch drain,
+serving cost is population-independent — per-request wall time at 10k
+users stays within 2× of the 100-user cell.  Writes the sweep rows to
+``BENCH_scale.json`` at the repo root as the trajectory artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from conftest import banner, run_once
+
+from repro.experiments.scale import run_scale_sweep
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+USER_COUNTS = [100, 1_000, 10_000]
+#: expected arrivals per cell = users * rate * duration = 500 for all N
+DURATIONS = {100: 10.0, 1_000: 1.0, 10_000: 0.1}
+RATE = 0.5
+MAX_ENTRIES_PER_USER = 32
+
+
+def test_perf_scale(benchmark):
+    result = run_once(
+        benchmark,
+        run_scale_sweep,
+        USER_COUNTS,
+        duration_for=DURATIONS,
+        rate_per_user=RATE,
+        seed=0,
+        max_entries_per_user=MAX_ENTRIES_PER_USER,
+    )
+
+    banner("Serving core at scale: per-request cost vs user population")
+    print(
+        "{:>8} {:>9} {:>9} {:>12} {:>10} {:>8} {:>8} {:>9} {:>9}".format(
+            "users", "requests", "wall_s", "us/request", "events/s",
+            "p50_ms", "p99_ms", "peak_ent", "rss_mb",
+        )
+    )
+    for row in result["rows"]:
+        print(
+            "{:>8} {:>9} {:>9.3f} {:>12.1f} {:>10.0f} {:>8.1f} {:>8.1f} "
+            "{:>9} {:>9.1f}".format(
+                row["users"],
+                row["requests"],
+                row["wall_s"],
+                row["per_request_wall_us"],
+                row["sim_events_per_wall_s"],
+                row["latency_p50_ms"],
+                row["latency_p99_ms"],
+                row["peak_cache_entries"],
+                row["peak_rss_bytes"] / 1e6,
+            )
+        )
+    derived = result["derived"]
+    print(
+        "per-request wall cost at {} users: {:.2f}x the {}-user cost".format(
+            derived["largest_users"],
+            derived["per_request_cost_ratio"],
+            derived["smallest_users"],
+        )
+    )
+
+    rows = {row["users"]: row for row in result["rows"]}
+    assert set(rows) == set(USER_COUNTS)
+    # every cell actually served a comparable workload
+    for row in rows.values():
+        assert row["requests"] > 200
+        assert row["requests"] == row["requests_sent"]
+
+    # the tentpole claim: serving cost does not grow with the user
+    # population.  2x is a loose ceiling over run-to-run noise; the
+    # measured ratio is ~1x
+    assert derived["per_request_cost_ratio"] < 2.0
+
+    # the per-user bound held: no cell's cache outgrew users * bound
+    for row in rows.values():
+        assert row["peak_cache_entries"] <= row["users"] * MAX_ENTRIES_PER_USER
+    # the bound did real work — prefetch fan-out exceeds 32
+    # entries/user, so LRU evictions must have fired
+    assert rows[100]["cache_lru_evictions"] > 0
+
+    ARTIFACT.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print("wrote {}".format(ARTIFACT.name))

@@ -10,6 +10,7 @@ Commands::
     figs [NAME...] --jobs N   run figure sweeps over a process pool
     cache [--clear]           inspect / clear the analysis artifact cache
     bench                     signature-dispatch microbenchmark
+    scale --users N...        million-user serving-core load harness
 """
 
 from __future__ import annotations
@@ -191,6 +192,64 @@ def _command_bench(args) -> int:
         handle.write("\n")
     print("wrote trajectory to {}".format(args.output))
     return 0 if result["differential"]["mismatches"] == 0 else 1
+
+
+def _command_scale(args) -> int:
+    from repro.experiments.scale import run_scale_sweep
+
+    if any(count < 1 for count in args.users):
+        print("scale: --users values must be positive", file=sys.stderr)
+        return 2
+    if args.duration <= 0:
+        print("scale: --duration must be positive", file=sys.stderr)
+        return 2
+    result = run_scale_sweep(
+        args.users,
+        default_duration=args.duration,
+        apps=args.apps,
+        rate_per_user=args.rate,
+        seed=args.seed,
+        max_entries_per_user=args.max_entries_per_user,
+        indexed_cache=not args.naive_cache,
+        lazy_drain=not args.rebuild_drain,
+    )
+    header = (
+        "{:>8} {:>9} {:>9} {:>11} {:>9} {:>9} {:>9} {:>7} {:>9} {:>9}".format(
+            "users", "requests", "wall_s", "us/request", "events/s",
+            "p50_ms", "p99_ms", "hit", "peak_ent", "rss_mb",
+        )
+    )
+    print(header)
+    for row in result["rows"]:
+        print(
+            "{:>8} {:>9} {:>9.3f} {:>11.1f} {:>9.0f} {:>9.1f} {:>9.1f} "
+            "{:>6.0f}% {:>9} {:>9.1f}".format(
+                row["users"],
+                row["requests"],
+                row["wall_s"],
+                row["per_request_wall_us"],
+                row["sim_events_per_wall_s"],
+                row["latency_p50_ms"],
+                row["latency_p99_ms"],
+                100 * row["hit_rate"],
+                row["peak_cache_entries"],
+                row["peak_rss_bytes"] / 1e6,
+            )
+        )
+    derived = result["derived"]
+    print(
+        "per-request wall cost at {} users is {:.2f}x the {}-user cost".format(
+            derived["largest_users"],
+            derived["per_request_cost_ratio"],
+            derived["smallest_users"],
+        )
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote trajectory to {}".format(args.output))
+    return 0
 
 
 def _print_rows(rows) -> None:
@@ -375,6 +434,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="trajectory file to write (default: BENCH_matching.json)",
     )
 
+    scale = commands.add_parser(
+        "scale", help="serving-core load harness (open-loop Poisson users)"
+    )
+    scale.add_argument(
+        "--users", type=int, nargs="+", default=[100, 1000],
+        help="population sizes to sweep (default: 100 1000)",
+    )
+    scale.add_argument(
+        "--duration", type=float, default=10.0,
+        help="virtual seconds of workload per cell (default: 10)",
+    )
+    scale.add_argument(
+        "--apps", nargs="+", default=["wish", "doordash"],
+        help="apps served by the shared proxy (default: wish doordash)",
+    )
+    scale.add_argument(
+        "--rate", type=float, default=0.5,
+        help="requests per user per virtual second (default: 0.5)",
+    )
+    scale.add_argument("--seed", type=int, default=0)
+    scale.add_argument(
+        "--max-entries-per-user", type=int, default=None,
+        help="bound each user's cache shard (LRU eviction)",
+    )
+    scale.add_argument(
+        "--naive-cache", action="store_true",
+        help="use the unindexed full-scan cache (differential oracle)",
+    )
+    scale.add_argument(
+        "--rebuild-drain", action="store_true",
+        help="use the O(W) rebuild prefetch drain (differential oracle)",
+    )
+    scale.add_argument(
+        "--output", default=None,
+        help="also write the sweep rows to this JSON file",
+    )
+
     return parser
 
 
@@ -389,6 +485,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figs": _command_figs,
         "cache": _command_cache,
         "bench": _command_bench,
+        "scale": _command_scale,
     }
     return handlers[args.command](args)
 

@@ -2,5 +2,14 @@
 
 from repro.experiments.scenario import PreparedApp, Scenario, prepare_app, scoped_config
 from repro.experiments import runner
+from repro.experiments.scale import run_scale, run_scale_sweep
 
-__all__ = ["PreparedApp", "Scenario", "prepare_app", "scoped_config", "runner"]
+__all__ = [
+    "PreparedApp",
+    "Scenario",
+    "prepare_app",
+    "scoped_config",
+    "runner",
+    "run_scale",
+    "run_scale_sweep",
+]

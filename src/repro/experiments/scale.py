@@ -1,0 +1,308 @@
+"""Population-scale load harness (``python -m repro scale``).
+
+Every other experiment in this repo drives a handful of simulated
+users through full app sessions — trace scale.  This module drives the
+*serving core* (one shared :class:`~repro.proxy.multiapp.MultiAppProxy`
+front of every app's origins) with an **open-loop Poisson workload**
+over N synthetic users, the way a production deployment would see
+traffic: arrivals do not wait for earlier responses, each user owns a
+cache shard and replays a recorded app session request-by-request, and
+a background sweeper purges expired entries the way a long-lived proxy
+must.  Reported numbers separate *virtual* performance (client latency
+percentiles, hit rate) from *host* cost (wall seconds per request,
+simulator events per second, peak RSS) — the latter is what must stay
+flat as N grows, and ``benchmarks/test_perf_scale.py`` asserts exactly
+that: per-request wall cost at 10k users within ~2× of 100 users.
+
+The session template is recorded once per app by running the real
+:class:`~repro.device.runtime.AppRuntime` against a private simulator
+(launch + the paper's main interaction), so the replayed requests
+exercise the genuine dependency chains: predecessors spawn prefetches,
+successors hit the per-user cache, and the priority queue sees real
+contention.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.analysis.pipeline import AnalysisOptions, analyze_apk
+from repro.apps.registry import get_app
+from repro.device.runtime import AppRuntime
+from repro.httpmsg.message import Request
+from repro.metrics.perf import PERF, rss_peak_bytes
+from repro.metrics.stats import percentile
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.netsim.transport import DirectTransport, OriginMap
+from repro.proxy.cache import PrefetchCache
+from repro.proxy.multiapp import MultiAppProxy, MultiAppTransport
+from repro.proxy.proxy import AccelerationProxy
+from repro.server.content import Catalog
+
+DEFAULT_APPS = ("wish", "doordash")
+DEFAULT_RATE_PER_USER = 0.5  # requests / user / virtual second
+PURGE_INTERVAL = 5.0  # virtual seconds between expiry sweeps
+SAMPLE_INTERVAL = 1.0  # virtual seconds between cache-size samples
+
+
+def record_session_template(app_name: str, catalog_seed: int = 7) -> List[Request]:
+    """Replay-ready request sequence of one real app session.
+
+    Runs launch plus the app's scripted main interaction on a private
+    simulator over the direct topology and returns copies of every
+    request the device issued, in order.
+    """
+    spec = get_app(app_name)
+    apk = spec.build_apk()
+    sim = Simulator()
+    origins, _ = spec.build_origin_map(sim, Catalog(catalog_seed))
+    transport = DirectTransport(sim, Link(rtt=0.055, shared=True), origins)
+    runtime = AppRuntime(apk, transport, sim, spec.default_profile("template-user"))
+
+    def flow() -> Generator:
+        yield sim.spawn(runtime.launch())
+        yield Delay(6.0)
+        for event in spec.main_flow:
+            yield sim.spawn(runtime.dispatch(*event))
+        return None
+
+    sim.run_process(flow())
+    return [t.request.copy() for t in runtime.transaction_log]
+
+
+class _ScaleDeployment:
+    """One MultiAppProxy serving every requested app's origins."""
+
+    def __init__(
+        self,
+        apps: Sequence[str],
+        catalog_seed: int = 7,
+        max_entries_per_user: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        indexed_cache: bool = True,
+        lazy_drain: bool = True,
+    ) -> None:
+        self.sim = Simulator()
+        self.origins = OriginMap()
+        self.multi = MultiAppProxy(self.sim, self.origins)
+        self.templates: Dict[str, List[Request]] = {}
+        for name in apps:
+            spec = get_app(name)
+            app_origins, _ = spec.build_origin_map(self.sim, Catalog(catalog_seed))
+            for origin, endpoint in app_origins.origins().items():
+                self.origins.register(
+                    origin,
+                    endpoint,
+                    app_origins.link_for(Request("GET", _origin_uri(origin))),
+                )
+            analysis = analyze_apk(spec.build_apk(), AnalysisOptions(run_slicing=False))
+            cache = PrefetchCache(
+                indexed=indexed_cache,
+                max_entries_per_user=max_entries_per_user,
+                max_bytes=max_bytes,
+            )
+            proxy = AccelerationProxy(
+                self.sim, app_origins, analysis, cache=cache
+            )
+            proxy.prefetcher.lazy_drain = lazy_drain
+            self.multi.register_app(name, proxy)
+            self.templates[name] = record_session_template(name, catalog_seed)
+
+
+def _origin_uri(origin: str):
+    from repro.httpmsg.uri import Uri
+
+    return Uri.parse(origin + "/")
+
+
+def run_scale(
+    users: int,
+    duration: float,
+    apps: Sequence[str] = DEFAULT_APPS,
+    rate_per_user: float = DEFAULT_RATE_PER_USER,
+    seed: int = 0,
+    max_entries_per_user: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+    indexed_cache: bool = True,
+    lazy_drain: bool = True,
+    access_rtt: float = 0.055,
+) -> Dict[str, object]:
+    """Serve an open-loop Poisson workload; returns the metrics row.
+
+    ``users`` synthetic users are split round-robin across ``apps``;
+    each replays its app's recorded session cyclically, one request
+    per arrival.  Arrivals form a Poisson process of total rate
+    ``users * rate_per_user`` over ``duration`` virtual seconds —
+    open-loop: an arrival never waits for a previous response, so a
+    slow serving core cannot throttle its own measured load.  Wall
+    time is measured around the event loop only (deployment and
+    workload construction excluded).
+    """
+    import random
+
+    if users < 1:
+        raise ValueError("users must be >= 1")
+    apps = tuple(apps)
+    deployment = _ScaleDeployment(
+        apps,
+        max_entries_per_user=max_entries_per_user,
+        max_bytes=max_bytes,
+        indexed_cache=indexed_cache,
+        lazy_drain=lazy_drain,
+    )
+    sim = deployment.sim
+    multi = deployment.multi
+    rng = random.Random(seed)
+
+    user_app = [apps[i % len(apps)] for i in range(users)]
+    # each user starts at a random point of its session template so the
+    # request mix is stationary: the share of chain-triggering
+    # predecessor requests is the same whether a cell sees each user
+    # once (large N, short duration) or many times (small N) — without
+    # this, large-N cells would be 100% session-start requests and the
+    # per-request cost comparison across population sizes would be
+    # comparing different workloads
+    user_position: Dict[int, int] = {}
+    transports: Dict[int, MultiAppTransport] = {}
+    latencies: List[float] = []
+    state = {"sent": 0, "completed": 0, "peak_entries": 0}
+
+    def transport_for(user_index: int) -> MultiAppTransport:
+        transport = transports.get(user_index)
+        if transport is None:
+            transport = MultiAppTransport(
+                sim,
+                Link(rtt=access_rtt, shared=True, name="access-u{}".format(user_index)),
+                multi,
+            )
+            transports[user_index] = transport
+        return transport
+
+    def send_one(user_index: int, request: Request) -> Generator:
+        started_at = sim.now
+        yield sim.spawn(
+            transport_for(user_index).send(request, "u{}".format(user_index))
+        )
+        latencies.append(sim.now - started_at)
+        state["completed"] += 1
+        return None
+
+    def arrivals() -> Generator:
+        total_rate = users * rate_per_user
+        while True:
+            yield Delay(rng.expovariate(total_rate))
+            if sim.now >= duration:
+                return None
+            user_index = rng.randrange(users)
+            template = deployment.templates[user_app[user_index]]
+            position = user_position.get(user_index)
+            if position is None:
+                position = rng.randrange(len(template))
+            request = template[position % len(template)]
+            user_position[user_index] = position + 1
+            state["sent"] += 1
+            sim.spawn(send_one(user_index, request.copy()))
+
+    def sweeper() -> Generator:
+        while sim.now < duration:
+            yield Delay(PURGE_INTERVAL)
+            multi.purge_expired(sim.now)
+        return None
+
+    def sampler() -> Generator:
+        while sim.now < duration:
+            yield Delay(SAMPLE_INTERVAL)
+            entries = multi.cache_entries()
+            if entries > state["peak_entries"]:
+                state["peak_entries"] = entries
+        return None
+
+    sim.spawn(arrivals())
+    sim.spawn(sweeper())
+    sim.spawn(sampler())
+
+    with PERF.capture():
+        wall_started = time.perf_counter()
+        sim.run()
+        wall_s = time.perf_counter() - wall_started
+        sim_events = PERF.get("sim.events")
+
+    final_entries = multi.cache_entries()
+    if final_entries > state["peak_entries"]:
+        state["peak_entries"] = final_entries
+    served = sum(proxy.served_prefetched for _, proxy in multi._apps)
+    forwarded = sum(proxy.forwarded for _, proxy in multi._apps)
+    issued = sum(proxy.prefetcher.issued for _, proxy in multi._apps)
+    caches = [proxy.cache for _, proxy in multi._apps]
+    requests = state["completed"]
+    answered = served + forwarded
+    return {
+        "users": users,
+        "apps": list(apps),
+        "duration_s": duration,
+        "rate_per_user": rate_per_user,
+        "seed": seed,
+        "requests": requests,
+        "requests_sent": state["sent"],
+        "wall_s": wall_s,
+        "per_request_wall_us": (1e6 * wall_s / requests) if requests else 0.0,
+        "requests_per_wall_s": (requests / wall_s) if wall_s else 0.0,
+        "sim_events": sim_events,
+        "sim_events_per_wall_s": (sim_events / wall_s) if wall_s else 0.0,
+        "latency_p50_ms": 1000 * percentile(latencies, 50) if latencies else 0.0,
+        "latency_p95_ms": 1000 * percentile(latencies, 95) if latencies else 0.0,
+        "latency_p99_ms": 1000 * percentile(latencies, 99) if latencies else 0.0,
+        "hit_rate": (served / answered) if answered else 0.0,
+        "served_prefetched": served,
+        "forwarded": forwarded,
+        "prefetch_issued": issued,
+        "peak_cache_entries": state["peak_entries"],
+        "final_cache_entries": final_entries,
+        "cache_stored": sum(c.stored for c in caches),
+        "cache_expired_evictions": sum(c.expired_evictions for c in caches),
+        "cache_lru_evictions": sum(c.lru_evictions for c in caches),
+        "cache_wheel_purged": sum(c.wheel_purged for c in caches),
+        "peak_rss_bytes": rss_peak_bytes(),
+        "indexed_cache": indexed_cache,
+        "lazy_drain": lazy_drain,
+        "max_entries_per_user": max_entries_per_user,
+        "max_bytes": max_bytes,
+    }
+
+
+def run_scale_sweep(
+    user_counts: Sequence[int],
+    duration_for: Optional[Dict[int, float]] = None,
+    default_duration: float = 10.0,
+    **kwargs,
+) -> Dict[str, object]:
+    """One row per population size, plus the scaling verdict.
+
+    ``duration_for`` lets callers shrink virtual duration as N grows
+    (open-loop arrival volume is ``N * rate * duration``, so a fixed
+    duration would make the 10k-user cell 100× the 100-user cell's
+    request count without telling us anything new about per-request
+    cost).  The verdict compares smallest-vs-largest per-request wall
+    cost — the number that must stay flat when the serving core is
+    population-independent.
+    """
+    rows = []
+    for count in user_counts:
+        duration = (duration_for or {}).get(count, default_duration)
+        rows.append(run_scale(count, duration, **kwargs))
+    smallest, largest = rows[0], rows[-1]
+    ratio = (
+        largest["per_request_wall_us"] / smallest["per_request_wall_us"]
+        if smallest["per_request_wall_us"]
+        else float("inf")
+    )
+    return {
+        "rows": rows,
+        "derived": {
+            "smallest_users": smallest["users"],
+            "largest_users": largest["users"],
+            "per_request_cost_ratio": ratio,
+        },
+    }

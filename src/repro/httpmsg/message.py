@@ -82,6 +82,12 @@ class Request:
             for value in self.headers.get_all(name):
                 hasher.update("{}:{}".format(name, value).encode())
                 hasher.update(b"\0")
+        # body *kind* disambiguates equal wire text across body types
+        # (an empty form and no body both serialize to ""; on the real
+        # wire they differ by Content-Type), keeping the digest
+        # injective with respect to request equality
+        hasher.update(self.body.kind.encode())
+        hasher.update(b"\0")
         hasher.update(self.body.to_wire().encode())
         key = hasher.hexdigest()
         self._key_cache = (stamp, key)

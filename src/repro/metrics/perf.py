@@ -109,5 +109,25 @@ class PerfCounters:
         )
 
 
+def rss_peak_bytes() -> int:
+    """This process's peak resident set size, in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the scale
+    harness reports it alongside per-request cost so memory growth with
+    the user population is visible in the trajectory artifacts.  The
+    value is a process-lifetime high-water mark, so within one process
+    successive measurements only ever rise.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform specific
+        return int(peak)
+    return int(peak) * 1024
+
+
 #: process-global counter sink used by the proxy hot path
 PERF = PerfCounters()

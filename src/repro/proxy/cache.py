@@ -6,18 +6,34 @@ manages prefetched response per user separately"; §4.5: "the proxy
 sends the response only when the prefetch request is identical to the
 client's request".  Entries carry an expiration time (§4.4 policy) and
 per-signature hit statistics feed the prefetch priority (§5).
+
+Serving-scale layout
+--------------------
+The default (``indexed=True``) store is *sharded by user*: one inner
+dict per user keyed by ``exact_key``, so lookup, insert, and
+``entries_for_user`` touch only that user's shard, and a hierarchical
+:class:`~repro.proxy.timerwheel.TimerWheel` files every entry by
+expiry tick so ``purge_expired(now)`` visits only buckets the clock
+passed — per-request cost stays flat as the user population grows.
+Optional bounds (``max_entries_per_user``, byte-accounted
+``max_bytes``) evict least-recently-used entries when a deployment
+must cap memory.  ``PrefetchCache(indexed=False)`` retains the seed's
+flat dict with full-scan purge/lookup as the differential oracle:
+both modes must agree on every observable result
+(``tests/test_proxy_cache_scale.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.httpmsg.message import Request, Response
 from repro.metrics.perf import PERF
+from repro.proxy.timerwheel import TimerWheel
 
 
 class CacheEntry:
-    __slots__ = ("response", "site", "fetched_at", "expires_at", "served")
+    __slots__ = ("response", "site", "fetched_at", "expires_at", "served", "size_bytes")
 
     def __init__(
         self, response: Response, site: str, fetched_at: float, expires_at: float
@@ -27,6 +43,7 @@ class CacheEntry:
         self.fetched_at = fetched_at
         self.expires_at = expires_at
         self.served = False
+        self.size_bytes = 0
 
     def expired(self, now: float) -> bool:
         return now >= self.expires_at
@@ -36,14 +53,55 @@ class CacheEntry:
 
 
 class PrefetchCache:
-    """Per-user exact-match response cache with expiry."""
+    """Per-user exact-match response cache with expiry.
 
-    def __init__(self) -> None:
+    ``indexed=False`` selects the seed's flat-table implementation
+    (linear purge and per-user scans), kept as the oracle the sharded
+    path is differentially tested against.  ``max_entries_per_user``
+    and ``max_bytes`` (both indexed-only) bound the store with LRU
+    eviction; unbounded is the default and preserves the oracle's
+    insertion-order observables exactly.
+    """
+
+    def __init__(
+        self,
+        indexed: bool = True,
+        max_entries_per_user: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        wheel_tick: float = 0.5,
+    ) -> None:
+        if not indexed and (max_entries_per_user or max_bytes):
+            raise ValueError("LRU bounds require the indexed cache")
+        self.indexed = indexed
+        self.max_entries_per_user = max_entries_per_user
+        self.max_bytes = max_bytes
+        self._bounded = bool(max_entries_per_user or max_bytes)
+        #: naive mode: one flat (user, exact_key) table
         self._entries: Dict[Tuple[str, str], CacheEntry] = {}
+        #: indexed mode: user -> {exact_key -> entry}; dict insertion
+        #: order doubles as per-user LRU order (touched on bounded gets)
+        self._shards: Dict[str, Dict[str, CacheEntry]] = {}
+        self._wheel: Optional[TimerWheel] = (
+            TimerWheel(tick=wheel_tick) if indexed else None
+        )
+        #: global LRU order across users, maintained only when bounded
+        self._lru: Dict[Tuple[str, str], None] = {}
+        self._count = 0  # live entries across all shards (indexed mode)
+        self.total_bytes = 0
         self.hits: Dict[str, int] = {}
         self.misses: Dict[str, int] = {}
         self.expired_evictions = 0
+        self.lru_evictions = 0
+        self.wheel_purged = 0
         self.stored = 0
+        self._stats_listeners: List[Callable[[str], None]] = []
+
+    # ------------------------------------------------------------------
+    def add_stats_listener(self, listener: Callable[[str], None]) -> None:
+        """Call ``listener(site)`` whenever a hit/miss moves a site's
+        hit rate — the prefetcher uses this to re-rank its queue
+        lazily instead of rebuilding it."""
+        self._stats_listeners.append(listener)
 
     # ------------------------------------------------------------------
     def put(
@@ -55,39 +113,122 @@ class PrefetchCache:
         now: float,
         ttl: float,
     ) -> None:
-        key = (user, request.exact_key())
-        self._entries[key] = CacheEntry(response, site, now, now + ttl)
+        entry = CacheEntry(response, site, now, now + ttl)
+        exact = request.exact_key()
+        if self.indexed:
+            shard = self._shards.get(user)
+            if shard is None:
+                shard = self._shards[user] = {}
+            previous = shard.get(exact)
+            shard[exact] = entry
+            if previous is None:
+                self._count += 1
+            self._wheel.schedule(entry.expires_at, (user, exact, entry))
+            if self._bounded:
+                entry.size_bytes = response.wire_size()
+                self.total_bytes += entry.size_bytes
+                if previous is not None:
+                    self.total_bytes -= previous.size_bytes
+                self._lru.pop((user, exact), None)
+                self._lru[(user, exact)] = None
+                self._enforce_bounds(user)
+        else:
+            self._entries[(user, exact)] = entry
         self.stored += 1
         if PERF.enabled:
             PERF.incr("cache.stores")
+
+    def _enforce_bounds(self, user: str) -> None:
+        if self.max_entries_per_user is not None:
+            shard = self._shards.get(user)
+            while shard and len(shard) > self.max_entries_per_user:
+                # shard dict order is per-user LRU order
+                oldest = next(iter(shard))
+                self._evict(user, oldest, shard[oldest])
+        if self.max_bytes is not None:
+            while self.total_bytes > self.max_bytes and self._lru:
+                victim_user, victim_key = next(iter(self._lru))
+                shard = self._shards.get(victim_user, {})
+                entry = shard.get(victim_key)
+                if entry is None:  # stale LRU slot
+                    del self._lru[(victim_user, victim_key)]
+                    continue
+                self._evict(victim_user, victim_key, entry)
+
+    def _evict(self, user: str, exact: str, entry: CacheEntry) -> None:
+        shard = self._shards.get(user)
+        if shard is not None and shard.pop(exact, None) is not None:
+            self._count -= 1
+            if not shard:
+                del self._shards[user]
+        self.total_bytes -= entry.size_bytes
+        self._lru.pop((user, exact), None)
+        self.lru_evictions += 1
+        if PERF.enabled:
+            PERF.incr("cache.lru_evictions")
+
+    def _remove(self, user: str, exact: str) -> None:
+        """Drop one entry (expiry path) from whichever store is live."""
+        if self.indexed:
+            shard = self._shards.get(user)
+            if shard is None:
+                return
+            entry = shard.pop(exact, None)
+            if entry is None:
+                return
+            self._count -= 1
+            if not shard:
+                del self._shards[user]
+            if self._bounded:
+                self.total_bytes -= entry.size_bytes
+                self._lru.pop((user, exact), None)
+        else:
+            self._entries.pop((user, exact), None)
+
+    # ------------------------------------------------------------------
+    def _lookup(self, user: str, exact: str) -> Optional[CacheEntry]:
+        if self.indexed:
+            shard = self._shards.get(user)
+            return None if shard is None else shard.get(exact)
+        return self._entries.get((user, exact))
 
     def get(self, user: str, request: Request, now: float) -> Optional[CacheEntry]:
         """Exact-match lookup; expired entries are evicted, not served."""
         if PERF.enabled:
             PERF.incr("cache.lookups")
-        key = (user, request.exact_key())
-        entry = self._entries.get(key)
+        exact = request.exact_key()
+        entry = self._lookup(user, exact)
         if entry is None:
             return None
         if entry.expired(now):
-            del self._entries[key]
+            self._remove(user, exact)
             self.expired_evictions += 1
             if PERF.enabled:
                 PERF.incr("cache.expired_on_lookup")
             return None
+        if self._bounded:
+            # touch: re-file at the recent end of both LRU orders
+            shard = self._shards[user]
+            del shard[exact]
+            shard[exact] = entry
+            del self._lru[(user, exact)]
+            self._lru[(user, exact)] = None
         if PERF.enabled:
             PERF.incr("cache.lookup_hits")
         return entry
 
     def record_hit(self, site: str) -> None:
         self.hits[site] = self.hits.get(site, 0) + 1
+        for listener in self._stats_listeners:
+            listener(site)
 
     def record_miss(self, site: str) -> None:
         self.misses[site] = self.misses.get(site, 0) + 1
+        for listener in self._stats_listeners:
+            listener(site)
 
     def contains_fresh(self, user: str, request: Request, now: float) -> bool:
-        key = (user, request.exact_key())
-        entry = self._entries.get(key)
+        entry = self._lookup(user, request.exact_key())
         return entry is not None and not entry.expired(now)
 
     def hit_rate(self, site: str) -> float:
@@ -98,14 +239,47 @@ class PrefetchCache:
         return hits / float(hits + misses)
 
     def purge_expired(self, now: float) -> int:
-        stale = [key for key, entry in self._entries.items() if entry.expired(now)]
-        for key in stale:
-            del self._entries[key]
-        self.expired_evictions += len(stale)
-        return len(stale)
+        """Evict every expired entry; returns how many went.
+
+        Indexed: the timer wheel surfaces only buckets the clock
+        passed; each candidate is revalidated against its shard (it
+        may have been overwritten or evicted since scheduling), so
+        cost tracks expirations, not population.  Naive: the seed's
+        full-table scan.
+        """
+        if not self.indexed:
+            stale = [key for key, entry in self._entries.items() if entry.expired(now)]
+            for key in stale:
+                del self._entries[key]
+            self.expired_evictions += len(stale)
+            return len(stale)
+        purged = 0
+        for user, exact, entry in self._wheel.advance(now):
+            live = self._lookup(user, exact)
+            if live is not entry or not entry.expired(now):
+                continue  # overwritten, already evicted, or refreshed
+            self._remove(user, exact)
+            purged += 1
+        self.expired_evictions += purged
+        self.wheel_purged += purged
+        if PERF.enabled and purged:
+            PERF.incr("cache.wheel_purged", purged)
+        return purged
 
     def entries_for_user(self, user: str) -> List[CacheEntry]:
+        """This user's entries, oldest-stored first (deterministic)."""
+        if self.indexed:
+            shard = self._shards.get(user)
+            return [] if shard is None else list(shard.values())
         return [entry for (u, _), entry in self._entries.items() if u == user]
 
+    @property
+    def user_count(self) -> int:
+        if self.indexed:
+            return len(self._shards)
+        return len({user for user, _ in self._entries})
+
     def __len__(self) -> int:
+        if self.indexed:
+            return self._count
         return len(self._entries)

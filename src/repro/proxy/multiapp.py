@@ -34,8 +34,17 @@ class MultiAppProxy:
 
         The origins the app's signatures can match are claimed by
         probing each registered origin against the app's matcher, so
-        routing needs no extra configuration.
+        routing needs no extra configuration.  Names starting with an
+        underscore are reserved for aggregate rows in :meth:`stats`
+        (``_passthrough``) and rejected.
         """
+        if name.startswith("_"):
+            raise ValueError(
+                "app name {!r} is reserved: names starting with '_' collide "
+                "with aggregate stats rows such as '_passthrough'".format(name)
+            )
+        if any(existing == name for existing, _ in self._apps):
+            raise ValueError("app {!r} is already registered".format(name))
         self._apps.append((name, proxy))
         for origin in proxy.origins.origins():
             self._by_origin[origin] = proxy
@@ -54,6 +63,14 @@ class MultiAppProxy:
             origin_fetch(self.sim, self.origins, request, user)
         )
         return response
+
+    def purge_expired(self, now: float) -> int:
+        """Purge every app cache's expired entries; returns the total."""
+        return sum(proxy.cache.purge_expired(now) for _, proxy in self._apps)
+
+    def cache_entries(self) -> int:
+        """Live prefetched entries across every app cache."""
+        return sum(len(proxy.cache) for _, proxy in self._apps)
 
     def stats(self) -> Dict[str, Dict]:
         per_app = {name: proxy.stats() for name, proxy in self._apps}

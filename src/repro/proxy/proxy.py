@@ -40,6 +40,7 @@ class AccelerationProxy:
         config: Optional[ProxyConfig] = None,
         learner: Optional[DynamicLearner] = None,
         seed: int = 0,
+        cache: Optional[PrefetchCache] = None,
     ) -> None:
         self.sim = sim
         self.origins = origins
@@ -48,7 +49,10 @@ class AccelerationProxy:
         self.learner = learner if learner is not None else DynamicLearner(analysis)
         if self.learner.max_depth is None:
             self.learner.max_depth = self.config.max_chain_depth
-        self.cache = PrefetchCache()
+        #: callers may inject a bounded or oracle-mode cache (e.g. the
+        #: scale harness caps per-user entries; differential tests pass
+        #: ``PrefetchCache(indexed=False)``)
+        self.cache = cache if cache is not None else PrefetchCache()
         self.prefetcher = Prefetcher(
             sim, origins, self.cache, self.config, self.learner, seed=seed
         )

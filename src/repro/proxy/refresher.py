@@ -36,6 +36,7 @@ class Refresher:
         self.max_requests_per_cycle = max_requests_per_cycle
         self.refreshed = 0
         self.cycles = 0
+        self.purged = 0
         #: requests eligible for refresh: (user, site) -> Request
         self._known: Dict[Tuple[str, str], Request] = {}
 
@@ -66,6 +67,10 @@ class Refresher:
         while sim.now - started_at < duration:
             yield Delay(self.min_interval)
             self.cycles += 1
+            # long-lived sessions keep storing entries past their TTL;
+            # sweep them each cycle so the cache holds only live ones
+            # (timer-wheel backed: cost tracks expirations, not size)
+            self.purged += self.proxy.cache.purge_expired(sim.now)
             issued = 0
             for (user, site), request in list(self._known.items()):
                 if issued >= self.max_requests_per_cycle:

@@ -1,0 +1,81 @@
+"""Tests for the ``repro scale`` load harness."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.scale import record_session_template, run_scale
+
+
+def test_record_session_template_yields_replayable_requests():
+    template = record_session_template("wish")
+    assert len(template) > 1
+    # independent copies: mutating one replay must not poison another
+    assert template[0] is not template[0].copy()
+    methods = {request.method for request in template}
+    assert "GET" in methods
+
+
+def test_run_scale_reports_consistent_metrics():
+    row = run_scale(users=10, duration=4.0, seed=3, rate_per_user=0.5)
+    assert row["users"] == 10
+    assert row["requests"] == row["requests_sent"] > 0
+    assert row["served_prefetched"] + row["forwarded"] >= row["requests"]
+    assert 0.0 <= row["hit_rate"] <= 1.0
+    assert row["wall_s"] > 0.0
+    assert row["sim_events"] > row["requests"]
+    assert row["latency_p50_ms"] <= row["latency_p95_ms"] <= row["latency_p99_ms"]
+    assert row["peak_cache_entries"] >= row["final_cache_entries"] >= 0
+    assert row["peak_rss_bytes"] > 0
+    assert row["cache_stored"] > 0
+
+
+def test_run_scale_is_deterministic_in_virtual_metrics():
+    first = run_scale(users=8, duration=3.0, seed=11)
+    second = run_scale(users=8, duration=3.0, seed=11)
+    for key in (
+        "requests",
+        "served_prefetched",
+        "forwarded",
+        "prefetch_issued",
+        "latency_p99_ms",
+        "sim_events",
+        "cache_stored",
+    ):
+        assert first[key] == second[key], key
+
+
+def test_run_scale_per_user_bound_caps_cache():
+    row = run_scale(users=6, duration=5.0, seed=0, max_entries_per_user=4)
+    assert row["peak_cache_entries"] <= 6 * 4
+    assert row["cache_lru_evictions"] > 0
+
+
+def test_run_scale_rejects_empty_population():
+    with pytest.raises(ValueError):
+        run_scale(users=0, duration=1.0)
+
+
+def test_cli_scale_smoke(tmp_path, capsys):
+    output = tmp_path / "scale.json"
+    code = main(
+        [
+            "scale",
+            "--users", "5", "10",
+            "--duration", "2",
+            "--apps", "wish",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "per-request wall cost" in printed
+    written = json.loads(output.read_text())
+    assert [row["users"] for row in written["rows"]] == [5, 10]
+    assert written["derived"]["per_request_cost_ratio"] > 0
+
+
+def test_cli_scale_validates_arguments(capsys):
+    assert main(["scale", "--users", "0"]) == 2
+    assert main(["scale", "--users", "5", "--duration", "0"]) == 2

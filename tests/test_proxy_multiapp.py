@@ -113,3 +113,34 @@ def test_stats_aggregate_per_app(env):
     assert "wish" in stats and "doordash" in stats
     assert stats["wish"]["forwarded"] > 0
     assert stats["_passthrough"]["requests"] == 0
+
+
+def test_register_app_rejects_reserved_names(env):
+    sim, multi, proxies, _ = env
+    with pytest.raises(ValueError) as excinfo:
+        multi.register_app("_passthrough", proxies["wish"])
+    assert "reserved" in str(excinfo.value)
+    with pytest.raises(ValueError):
+        multi.register_app("_anything", proxies["wish"])
+    # the failed registrations left no trace in stats
+    assert set(multi.stats()) == {"wish", "doordash", "_passthrough"}
+
+
+def test_register_app_rejects_duplicate_names(env):
+    sim, multi, proxies, _ = env
+    with pytest.raises(ValueError) as excinfo:
+        multi.register_app("wish", proxies["doordash"])
+    assert "already registered" in str(excinfo.value)
+
+
+def test_purge_expired_sums_across_app_caches(env):
+    sim, multi, proxies, _ = env
+    request_a = Request("GET", Uri.parse("https://a.example/1"))
+    request_b = Request("GET", Uri.parse("https://b.example/2"))
+    proxies["wish"].cache.put("u1", request_a, Response(200), "s#0", 0.0, 5.0)
+    proxies["doordash"].cache.put("u1", request_b, Response(200), "s#1", 0.0, 7.0)
+    assert multi.cache_entries() == 2
+    assert multi.purge_expired(6.0) == 1
+    assert multi.cache_entries() == 1
+    assert multi.purge_expired(8.0) == 1
+    assert multi.cache_entries() == 0
