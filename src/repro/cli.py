@@ -11,6 +11,8 @@ Commands::
     cache [--clear]           inspect / clear the analysis artifact cache
     bench                     signature-dispatch microbenchmark
     scale --users N...        million-user serving-core load harness
+                              (--trace out.jsonl samples request traces)
+    stats TRACE.jsonl         per-stage / per-cause rollup of a trace
 """
 
 from __future__ import annotations
@@ -203,6 +205,9 @@ def _command_scale(args) -> int:
     if args.duration <= 0:
         print("scale: --duration must be positive", file=sys.stderr)
         return 2
+    if args.trace_sample is not None and not 0.0 <= args.trace_sample <= 1.0:
+        print("scale: --trace-sample must be within [0, 1]", file=sys.stderr)
+        return 2
     result = run_scale_sweep(
         args.users,
         default_duration=args.duration,
@@ -212,6 +217,9 @@ def _command_scale(args) -> int:
         max_entries_per_user=args.max_entries_per_user,
         indexed_cache=not args.naive_cache,
         lazy_drain=not args.rebuild_drain,
+        trace_path=args.trace,
+        trace_sample=args.trace_sample,
+        trace_seed=args.trace_seed,
     )
     header = (
         "{:>8} {:>9} {:>9} {:>11} {:>9} {:>9} {:>9} {:>7} {:>9} {:>9}".format(
@@ -244,11 +252,121 @@ def _command_scale(args) -> int:
             derived["smallest_users"],
         )
     )
+    tracing = args.trace is not None or args.trace_sample is not None
+    if tracing:
+        last = result["rows"][-1]
+        _print_stage_table(last.get("stage_latency_us") or {})
+        _print_miss_causes(last.get("miss_causes") or {})
+        for row in result["rows"]:
+            trace_stats = row.get("trace") or {}
+            if "exported" in trace_stats:
+                print(
+                    "wrote {} trace record(s) to {}".format(
+                        trace_stats["exported"], trace_stats["path"]
+                    )
+                )
+    if args.prom:
+        from repro.metrics.perf import PERF
+
+        with open(args.prom, "w") as handle:
+            handle.write(PERF.registry.render_prometheus())
+        print("wrote Prometheus metrics to {}".format(args.prom))
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("wrote trajectory to {}".format(args.output))
+    return 0
+
+
+def _print_stage_table(stage_latency) -> None:
+    if not stage_latency:
+        print("(no per-stage latency samples)")
+        return
+    print(
+        "{:<28} {:>9} {:>11} {:>11} {:>11}".format(
+            "stage", "count", "p50_us", "p95_us", "p99_us"
+        )
+    )
+    for stage in sorted(stage_latency):
+        row = stage_latency[stage]
+        print(
+            "{:<28} {:>9} {:>11.1f} {:>11.1f} {:>11.1f}".format(
+                stage,
+                row["count"],
+                row.get("p50_us", row.get("wall_us_p50", 0.0)),
+                row.get("p95_us", row.get("wall_us_p95", 0.0)),
+                row.get("p99_us", row.get("wall_us_p99", 0.0)),
+            )
+        )
+
+
+def _print_miss_causes(miss_causes) -> None:
+    if not miss_causes:
+        print("(no cache misses recorded)")
+        return
+    total = sum(miss_causes.values())
+    print("cache misses by cause:")
+    for cause in sorted(miss_causes, key=miss_causes.get, reverse=True):
+        count = miss_causes[cause]
+        print(
+            "  {:<20} {:>9}  ({:.1f}%)".format(cause, count, 100.0 * count / total)
+        )
+
+
+def _command_stats(args) -> int:
+    from repro.metrics.trace import aggregate_records, read_jsonl, registry_from_records
+
+    try:
+        records = read_jsonl(args.trace, validate=True)
+    except (OSError, ValueError) as error:
+        print("stats: {}".format(error), file=sys.stderr)
+        return 1
+    summary = aggregate_records(records)
+    print(
+        "{} trace record(s): {}".format(
+            summary["records"],
+            ", ".join(
+                "{} {}".format(count, kind)
+                for kind, count in sorted(summary["kinds"].items())
+            )
+            or "none",
+        )
+    )
+    stages = {
+        stage: {
+            "count": row["count"],
+            "p50_us": row["wall_us_p50"],
+            "p95_us": row["wall_us_p95"],
+            "p99_us": row["wall_us_p99"],
+        }
+        for stage, row in summary["stages"].items()
+    }
+    _print_stage_table(stages)
+    _print_miss_causes(summary["miss_causes"])
+    if summary["by_signature"]:
+        print("per-signature cache outcomes:")
+        for signature in sorted(summary["by_signature"]):
+            row = summary["by_signature"][signature]
+            answered = row["hits"] + row["misses"]
+            print(
+                "  {:<42} {:>6} hits {:>6} misses  ({:.0f}% hit)".format(
+                    signature,
+                    row["hits"],
+                    row["misses"],
+                    100.0 * row["hits"] / answered if answered else 0.0,
+                )
+            )
+    if args.prom:
+        registry = registry_from_records(records)
+        with open(args.prom, "w") as handle:
+            handle.write(registry.render_prometheus())
+        print("wrote Prometheus metrics to {}".format(args.prom))
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote aggregate to {}".format(args.json))
     return 0
 
 
@@ -470,6 +588,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="also write the sweep rows to this JSON file",
     )
+    scale.add_argument(
+        "--trace", default=None, metavar="JSONL",
+        help="export sampled request-lifecycle traces to this JSONL file",
+    )
+    scale.add_argument(
+        "--trace-sample", type=float, default=None, metavar="RATE",
+        help="trace sampling rate in [0, 1] (arms tracing; default 1.0 "
+             "when --trace is given)",
+    )
+    scale.add_argument(
+        "--trace-seed", type=int, default=0,
+        help="sampling PRNG seed (default: 0, deterministic sample set)",
+    )
+    scale.add_argument(
+        "--prom", default=None, metavar="FILE",
+        help="write a Prometheus text-format metrics dump after the sweep",
+    )
+
+    stats = commands.add_parser(
+        "stats", help="per-stage / per-cause rollup of a JSONL trace export"
+    )
+    stats.add_argument("trace", help="trace file written by 'scale --trace'")
+    stats.add_argument(
+        "--prom", default=None, metavar="FILE",
+        help="also write Prometheus text-format metrics rebuilt from the trace",
+    )
+    stats.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the aggregate summary as JSON",
+    )
 
     return parser
 
@@ -486,6 +634,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cache": _command_cache,
         "bench": _command_bench,
         "scale": _command_scale,
+        "stats": _command_stats,
     }
     return handlers[args.command](args)
 

@@ -23,9 +23,10 @@ re-running analysis + verification fuzzing.
 Perf accounting
 ---------------
 Each cell can return a :data:`PERF` snapshot taken inside the worker;
-the engine folds worker counters into the parent's :data:`PERF` (when
-enabled) under the same names, plus ``experiments.cells`` /
-``experiments.parallel_cells`` on the engine itself.
+the engine folds worker counters, stage timings, and histograms into
+the parent's :data:`PERF` (when enabled) under the same names, plus
+``experiments.cells`` / ``experiments.parallel_cells`` on the engine
+itself.
 """
 
 from __future__ import annotations
@@ -136,15 +137,20 @@ def _worker_init(cache_env: Optional[str]) -> None:
         os.environ.pop(ENV_ENABLE, None)
 
 
-def execute_cell(unit: WorkUnit) -> Tuple[Any, Optional[Dict[str, int]]]:
-    """Run one work unit (in a pool worker or inline)."""
+def execute_cell(unit: WorkUnit) -> Tuple[Any, Optional[Dict[str, Any]]]:
+    """Run one work unit (in a pool worker or inline).
+
+    The perf snapshot is the full :meth:`PerfCounters.snapshot` shape
+    (counters + stage ``timings_s`` + histograms), so the parent's
+    fold-back keeps worker stage timings instead of dropping them.
+    """
     kind, kwargs, capture = unit
     function = _CELL_FUNCTIONS[kind]
     if not capture:
         return function(**kwargs), None
     with PERF.capture() as perf:
         result = function(**kwargs)
-        snapshot = dict(perf.counters)
+        snapshot = perf.snapshot()
     return result, snapshot
 
 

@@ -33,6 +33,7 @@ from repro.device.runtime import AppRuntime
 from repro.httpmsg.message import Request
 from repro.metrics.perf import PERF, rss_peak_bytes
 from repro.metrics.stats import percentile
+from repro.metrics.trace import TRACER
 from repro.netsim.link import Link
 from repro.netsim.sim import Delay, Simulator
 from repro.netsim.transport import DirectTransport, OriginMap
@@ -128,6 +129,10 @@ def run_scale(
     indexed_cache: bool = True,
     lazy_drain: bool = True,
     access_rtt: float = 0.055,
+    trace_path: Optional[str] = None,
+    trace_sample: Optional[float] = None,
+    trace_seed: int = 0,
+    trace_capacity: int = 65_536,
 ) -> Dict[str, object]:
     """Serve an open-loop Poisson workload; returns the metrics row.
 
@@ -139,11 +144,20 @@ def run_scale(
     slow serving core cannot throttle its own measured load.  Wall
     time is measured around the event loop only (deployment and
     workload construction excluded).
+
+    Request-lifecycle tracing is armed when ``trace_path`` or
+    ``trace_sample`` is given: the global tracer samples
+    ``trace_sample`` of requests (default 1.0) into a ring of
+    ``trace_capacity`` records, feeds per-stage span histograms into
+    the PERF registry, and — when ``trace_path`` is set — exports the
+    buffered records as JSONL after the run.  Left off (the default),
+    the serving core pays only the one-branch disabled check.
     """
     import random
 
     if users < 1:
         raise ValueError("users must be >= 1")
+    tracing = trace_path is not None or trace_sample is not None
     apps = tuple(apps)
     deployment = _ScaleDeployment(
         apps,
@@ -223,11 +237,53 @@ def run_scale(
     sim.spawn(sweeper())
     sim.spawn(sampler())
 
-    with PERF.capture():
-        wall_started = time.perf_counter()
-        sim.run()
-        wall_s = time.perf_counter() - wall_started
-        sim_events = PERF.get("sim.events")
+    if tracing:
+        TRACER.configure(
+            sample_rate=1.0 if trace_sample is None else trace_sample,
+            capacity=trace_capacity,
+            seed=trace_seed,
+            registry=PERF.registry,
+            sim_clock=lambda: sim.now,
+        )
+        TRACER.enable()
+    try:
+        with PERF.capture():
+            wall_started = time.perf_counter()
+            sim.run()
+            wall_s = time.perf_counter() - wall_started
+            sim_events = PERF.get("sim.events")
+    finally:
+        if tracing:
+            TRACER.disable()
+
+    trace_stats: Optional[Dict[str, object]] = None
+    if tracing:
+        trace_stats = TRACER.stats()
+        if trace_path is not None:
+            trace_stats["exported"] = TRACER.export_jsonl(trace_path)
+            trace_stats["path"] = trace_path
+
+    # per-stage latency histograms out of the registry: PERF.stage
+    # feeds stage_seconds{stage=...}; sampled trace spans feed
+    # span_wall_seconds{stage=...} (reported under a "span:" prefix)
+    stage_latency: Dict[str, Dict[str, float]] = {}
+    for metric, prefix in (("stage_seconds", ""), ("span_wall_seconds", "span:")):
+        for labels, histogram in PERF.registry.series(metric):
+            if not histogram.count:
+                continue
+            stage_latency[prefix + labels.get("stage", "")] = {
+                "count": histogram.count,
+                "p50_us": 1e6 * histogram.percentile(50),
+                "p95_us": 1e6 * histogram.percentile(95),
+                "p99_us": 1e6 * histogram.percentile(99),
+                "mean_us": 1e6 * histogram.mean,
+                "total_s": histogram.sum,
+            }
+    miss_causes = {
+        name[len("cache.miss."):]: count
+        for name, count in PERF.counters.items()
+        if name.startswith("cache.miss.")
+    }
 
     final_entries = multi.cache_entries()
     if final_entries > state["peak_entries"]:
@@ -269,6 +325,9 @@ def run_scale(
         "lazy_drain": lazy_drain,
         "max_entries_per_user": max_entries_per_user,
         "max_bytes": max_bytes,
+        "stage_latency_us": stage_latency,
+        "miss_causes": miss_causes,
+        "trace": trace_stats,
     }
 
 
@@ -286,12 +345,21 @@ def run_scale_sweep(
     request count without telling us anything new about per-request
     cost).  The verdict compares smallest-vs-largest per-request wall
     cost — the number that must stay flat when the serving core is
-    population-independent.
+    population-independent.  When tracing to a file across several
+    cells, each cell writes ``<stem>-<users><ext>`` so no cell
+    overwrites another's export.
     """
+    import os
+
+    trace_path = kwargs.pop("trace_path", None)
     rows = []
     for count in user_counts:
         duration = (duration_for or {}).get(count, default_duration)
-        rows.append(run_scale(count, duration, **kwargs))
+        cell_path = trace_path
+        if trace_path is not None and len(user_counts) > 1:
+            stem, ext = os.path.splitext(trace_path)
+            cell_path = "{}-{}{}".format(stem, count, ext or ".jsonl")
+        rows.append(run_scale(count, duration, trace_path=cell_path, **kwargs))
     smallest, largest = rows[0], rows[-1]
     ratio = (
         largest["per_request_wall_us"] / smallest["per_request_wall_us"]

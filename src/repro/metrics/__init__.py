@@ -1,7 +1,9 @@
-"""Measurement helpers: latency statistics, data-usage accounting, and
-hot-path performance counters."""
+"""Measurement helpers: latency statistics, data-usage accounting,
+hot-path performance counters, the labeled metric registry, and
+request-lifecycle tracing."""
 
 from repro.metrics.perf import PERF, PerfCounters
+from repro.metrics.registry import Histogram, MetricRegistry
 from repro.metrics.stats import (
     cdf_points,
     mean,
@@ -10,16 +12,24 @@ from repro.metrics.stats import (
     reduction,
     summarize_latencies,
 )
+from repro.metrics.trace import TRACER, Span, TraceContext, Tracer, validate_record
 from repro.metrics.usage import DataUsage
 
 __all__ = [
     "DataUsage",
+    "Histogram",
+    "MetricRegistry",
     "PERF",
     "PerfCounters",
+    "Span",
+    "TRACER",
+    "TraceContext",
+    "Tracer",
     "cdf_points",
     "mean",
     "median",
     "percentile",
     "reduction",
     "summarize_latencies",
+    "validate_record",
 ]

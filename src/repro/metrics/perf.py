@@ -7,6 +7,14 @@ and per-stage wall-clock timings so benchmarks can assert *work done*
 time.  Everything funnels through one process-global
 :class:`PerfCounters` instance, :data:`PERF`.
 
+:class:`PerfCounters` is a thin facade over a
+:class:`~repro.metrics.registry.MetricRegistry`: its ``counters`` and
+``timings`` dicts *are* the registry's stores (same objects), so the
+hot path keeps its raw-dict writes while labeled series, histograms,
+and the Prometheus export live in the registry.  ``stage()``
+additionally feeds a ``stage_seconds{stage=...}`` histogram so the
+scale harness can report per-stage p50/p95/p99, not just totals.
+
 Disabled (the default) the cost at a call site is one attribute load
 and a branch; the hottest loops guard with ``if PERF.enabled:`` so not
 even the call happens.  Enable around a measured region::
@@ -20,20 +28,26 @@ even the call happens.  Enable around a measured region::
 
 from __future__ import annotations
 
+import sys
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
+
+from repro.metrics.registry import MetricRegistry
 
 
 class PerfCounters:
     """Named monotonic counters plus accumulated stage timings."""
 
-    __slots__ = ("enabled", "counters", "timings")
+    __slots__ = ("enabled", "registry", "counters", "timings")
 
     def __init__(self) -> None:
         self.enabled = False
-        self.counters: Dict[str, int] = {}
-        self.timings: Dict[str, float] = {}
+        self.registry = MetricRegistry()
+        # facade: these are the registry's own stores, not copies —
+        # reset() clears them in place so the aliases stay live
+        self.counters: Dict[str, int] = self.registry.counters
+        self.timings: Dict[str, float] = self.registry.timings
 
     # -- lifecycle ------------------------------------------------------
     def enable(self) -> None:
@@ -43,8 +57,7 @@ class PerfCounters:
         self.enabled = False
 
     def reset(self) -> None:
-        self.counters.clear()
-        self.timings.clear()
+        self.registry.reset()
 
     @contextmanager
     def capture(self, reset: bool = True) -> Iterator["PerfCounters"]:
@@ -68,19 +81,33 @@ class PerfCounters:
         if self.enabled and value > self.counters.get(name, 0):
             self.counters[name] = value
 
-    def merge(self, counters: Dict[str, int]) -> None:
-        """Fold a counter snapshot in (used for worker-process results).
+    def merge(self, snapshot: Dict) -> None:
+        """Fold a worker-process snapshot in.
 
-        Plain counters add; ``*_peak`` names keep the maximum, matching
+        Accepts either a plain counter dict (the historical shape) or a
+        full :meth:`snapshot` dict (``counters`` + ``timings_s`` +
+        ``histograms``), so pool runners fold back stage timings and
+        histograms too instead of silently dropping them.  Plain
+        counters add; ``*_peak`` names keep the maximum, matching
         :meth:`peak` semantics.
         """
         if not self.enabled:
             return
+        if isinstance(snapshot.get("counters"), dict):
+            counters = snapshot["counters"]
+            timings = snapshot.get("timings_s") or {}
+            histograms = snapshot.get("histograms") or {}
+        else:
+            counters, timings, histograms = snapshot, {}, {}
         for name, value in counters.items():
-            if name.endswith("_peak"):
+            if name.split("{", 1)[0].endswith("_peak"):
                 self.peak(name, value)
             else:
                 self.counters[name] = self.counters.get(name, 0) + value
+        for name, value in timings.items():
+            self.timings[name] = self.timings.get(name, 0.0) + value
+        if histograms:
+            self.registry.merge_histograms(histograms)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -92,16 +119,23 @@ class PerfCounters:
         try:
             yield
         finally:
-            self.timings[name] = self.timings.get(name, 0.0) + (
-                time.perf_counter() - started
-            )
+            elapsed = time.perf_counter() - started
+            self.timings[name] = self.timings.get(name, 0.0) + elapsed
+            self.registry.observe("stage_seconds", elapsed, labels={"stage": name})
 
     # -- reading --------------------------------------------------------
     def get(self, name: str) -> int:
         return self.counters.get(name, 0)
 
     def snapshot(self) -> Dict[str, Dict]:
-        return {"counters": dict(self.counters), "timings_s": dict(self.timings)}
+        data: Dict[str, Dict] = {
+            "counters": dict(self.counters),
+            "timings_s": dict(self.timings),
+        }
+        histograms = self.registry.snapshot_histograms()
+        if histograms:
+            data["histograms"] = histograms
+        return data
 
     def __repr__(self) -> str:
         return "PerfCounters(enabled={}, {} counters)".format(
@@ -120,7 +154,6 @@ def rss_peak_bytes() -> int:
     """
     try:
         import resource
-        import sys
     except ImportError:  # pragma: no cover - non-POSIX fallback
         return 0
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss

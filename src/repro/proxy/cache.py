@@ -192,20 +192,29 @@ class PrefetchCache:
             return None if shard is None else shard.get(exact)
         return self._entries.get((user, exact))
 
-    def get(self, user: str, request: Request, now: float) -> Optional[CacheEntry]:
-        """Exact-match lookup; expired entries are evicted, not served."""
+    def lookup(
+        self, user: str, request: Request, now: float
+    ) -> Tuple[Optional[CacheEntry], str]:
+        """Exact-match lookup with its outcome: ``(entry, outcome)``.
+
+        ``outcome`` is ``"hit"``, ``"miss_expired"`` (an entry was
+        present but past its TTL — evicted, not served), or
+        ``"miss_absent"`` (nothing prefetched for this exact request).
+        The distinction feeds per-cause miss attribution in traces and
+        the metric registry; :meth:`get` is the outcome-blind facade.
+        """
         if PERF.enabled:
             PERF.incr("cache.lookups")
         exact = request.exact_key()
         entry = self._lookup(user, exact)
         if entry is None:
-            return None
+            return None, "miss_absent"
         if entry.expired(now):
             self._remove(user, exact)
             self.expired_evictions += 1
             if PERF.enabled:
                 PERF.incr("cache.expired_on_lookup")
-            return None
+            return None, "miss_expired"
         if self._bounded:
             # touch: re-file at the recent end of both LRU orders
             shard = self._shards[user]
@@ -215,7 +224,11 @@ class PrefetchCache:
             self._lru[(user, exact)] = None
         if PERF.enabled:
             PERF.incr("cache.lookup_hits")
-        return entry
+        return entry, "hit"
+
+    def get(self, user: str, request: Request, now: float) -> Optional[CacheEntry]:
+        """Exact-match lookup; expired entries are evicted, not served."""
+        return self.lookup(user, request, now)[0]
 
     def record_hit(self, site: str) -> None:
         self.hits[site] = self.hits.get(site, 0) + 1

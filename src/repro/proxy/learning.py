@@ -36,6 +36,7 @@ from repro.httpmsg.cookies import CookieJar
 from repro.httpmsg.fieldpath import FieldPath
 from repro.httpmsg.message import Request, Response, Transaction
 from repro.metrics.perf import PERF
+from repro.metrics.trace import TraceContext
 from repro.proxy.instances import (
     RequestInstance,
     RuntimeSignature,
@@ -97,6 +98,9 @@ class DynamicLearner:
         # affected instances instead of rescanning the whole list
         self._queue: Deque[RequestInstance] = deque()
         self._pending_keys: Dict[Tuple, RequestInstance] = {}
+        #: live pending instances per (user, site) — backs the proxy's
+        #: ``wildcard_pending`` miss-cause attribution in O(1)
+        self._pending_sites: Dict[Tuple[str, str], int] = {}
         self._wake_index: Dict[Tuple, List[RequestInstance]] = {}
         self._woken: Dict[Tuple, None] = {}  # ordered set of fired keys
         self._fresh: List[RequestInstance] = []
@@ -119,12 +123,19 @@ class DynamicLearner:
 
     # ------------------------------------------------------------------
     def observe(
-        self, transaction: Transaction, user: str, depth: int = 0
+        self,
+        transaction: Transaction,
+        user: str,
+        depth: int = 0,
+        trace: Optional[TraceContext] = None,
     ) -> List[ReadyPrefetch]:
         """Feed one observed transaction through Fig. 6's workflow.
 
         ``depth`` is the prefetch-chain depth of the transaction (0 for
         client traffic); instances it spawns get ``depth + 1``.
+        ``trace`` (optional) collects a ``learn`` span around run-time
+        value learning and an ``instantiate`` span around successor
+        spawning + the pending-instance drain.
         Returns newly completed prefetch requests.
         """
         self.observed_count += 1
@@ -132,6 +143,11 @@ class DynamicLearner:
         if signature is None:
             self._track_cookies(transaction, user, signature)
             return []
+        span = (
+            trace.start_span("learn", signature=signature.site)
+            if trace is not None
+            else None
+        )
         if not self.static_only:
             # case 2: the transaction is an actual example of this
             # signature
@@ -140,15 +156,22 @@ class DynamicLearner:
             # (already stale) Cookie header: the client's *next* request
             # will carry whatever Set-Cookie this response just issued
             self._track_cookies(transaction, user, signature)
+        if span is not None:
+            trace.end_span(span)
+            span = trace.start_span("instantiate", signature=signature.site)
         ready: List[ReadyPrefetch] = []
+        spawned = 0
         # case 1: predecessor — spawn successor instances
         if signature.is_predecessor and transaction.response.ok:
             for instance in self._spawn_successors(
                 signature, transaction.response, user, depth
             ):
                 self._enqueue(instance)
+                spawned += 1
         # drain anything now resolvable (including older pending work)
         ready.extend(self._drain_pending())
+        if span is not None:
+            trace.end_span(span, spawned=spawned, completed=len(ready))
         return ready
 
     # ------------------------------------------------------------------
@@ -266,6 +289,19 @@ class DynamicLearner:
     def _is_live(self, instance: RequestInstance) -> bool:
         return self._pending_keys.get(instance.pending_key) is instance
 
+    def has_pending(self, user: str, site: str) -> bool:
+        """Is some instance of ``site`` for ``user`` still incomplete?"""
+        return (user, site) in self._pending_sites
+
+    def _forget_pending(self, instance: RequestInstance) -> None:
+        """Drop ``instance`` from the per-(user, site) pending index."""
+        slot = (instance.user, instance.signature.site)
+        remaining = self._pending_sites.get(slot, 0) - 1
+        if remaining > 0:
+            self._pending_sites[slot] = remaining
+        else:
+            self._pending_sites.pop(slot, None)
+
     def _wake_keys(self, instance: RequestInstance) -> Set[Tuple]:
         """Every store/variant key whose learning could help resolve
         ``instance`` — a superset, so waking is always sound.
@@ -307,11 +343,14 @@ class DynamicLearner:
             dropped = self._queue.popleft()
             if self._is_live(dropped):
                 del self._pending_keys[dropped.pending_key]
+                self._forget_pending(dropped)
         self._enqueue_seq += 1
         instance.pending_seq = self._enqueue_seq
         instance.pending_key = key
         self._queue.append(instance)
         self._pending_keys[key] = instance
+        slot = (instance.user, instance.signature.site)
+        self._pending_sites[slot] = self._pending_sites.get(slot, 0) + 1
         for wake_key in self._wake_keys(instance):
             self._wake_index.setdefault(wake_key, []).append(instance)
         self._fresh.append(instance)
@@ -361,6 +400,7 @@ class DynamicLearner:
             if request is not None:
                 ready.append(ReadyPrefetch(instance, request))
                 del self._pending_keys[instance.pending_key]
+                self._forget_pending(instance)
                 self.completed_count += 1
         # compact the deque once stale (completed/evicted) entries
         # dominate, keeping eviction amortized O(1)
@@ -381,6 +421,7 @@ class DynamicLearner:
         data = {
             "observed": self.observed_count,
             "pending": self.pending_count,
+            "pending_sites": len(self._pending_sites),
             "completed": self.completed_count,
             "wake_events": self.wake_events,
             "wake_retries": self.wake_retries,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.httpmsg.message import Request, Response
+from repro.metrics.trace import TRACER
 from repro.netsim.link import Link
 from repro.netsim.sim import Delay, Simulator
 from repro.netsim.transport import OriginMap, Transport
@@ -27,6 +28,7 @@ class MultiAppProxy:
         self.origins = origins
         self._apps: List[Tuple[str, AccelerationProxy]] = []
         self._by_origin: Dict[str, AccelerationProxy] = {}
+        self._name_by_origin: Dict[str, str] = {}
         self.passthrough = 0
 
     def register_app(self, name: str, proxy: AccelerationProxy) -> None:
@@ -48,20 +50,40 @@ class MultiAppProxy:
         self._apps.append((name, proxy))
         for origin in proxy.origins.origins():
             self._by_origin[origin] = proxy
+            self._name_by_origin[origin] = name
 
     def app_for(self, request: Request) -> Optional[AccelerationProxy]:
         return self._by_origin.get(request.uri.origin())
 
     def handle_request(self, request: Request, user: str) -> Generator:
+        # the routing boundary owns the request's trace: it is begun
+        # here (sampling decided once per request) and handed down into
+        # the per-app proxy, so one record holds the app tag plus every
+        # inner stage span
+        trace = TRACER.begin(user) if TRACER.enabled else None
         proxy = self.app_for(request)
         if proxy is not None:
-            response = yield self.sim.spawn(proxy.handle_request(request, user))
+            if trace is not None:
+                trace.app = self._name_by_origin.get(request.uri.origin())
+            response = yield self.sim.spawn(
+                proxy.handle_request(request, user, trace=trace)
+            )
+            TRACER.finish(trace)
             return response
         # unknown app traffic: plain forwarding, no acceleration
         self.passthrough += 1
+        span = None
+        if trace is not None:
+            trace.app = "_passthrough"
+            span = trace.start_span("cache_lookup")
+            trace.end_span(span, outcome="passthrough", shard=user)
+            span = trace.start_span("origin_fetch")
         response, _ = yield self.sim.spawn(
             origin_fetch(self.sim, self.origins, request, user)
         )
+        if span is not None:
+            trace.end_span(span)
+            TRACER.finish(trace)
         return response
 
     def purge_expired(self, now: float) -> int:

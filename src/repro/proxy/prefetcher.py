@@ -37,6 +37,7 @@ from typing import Callable, Deque, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.httpmsg.message import Request, Response, Transaction
 from repro.metrics.perf import PERF
+from repro.metrics.trace import TRACER
 from repro.netsim.sim import Delay, Simulator
 from repro.netsim.transport import OriginMap
 from repro.proxy.cache import PrefetchCache
@@ -175,57 +176,64 @@ class Prefetcher:
         return self._waiting_count if self.lazy_drain else len(self._waiting)
 
     # ------------------------------------------------------------------
-    def submit(self, ready: ReadyPrefetch) -> None:
-        """Apply the policy gates, then schedule (or queue) the fetch."""
+    def submit(self, ready: ReadyPrefetch) -> str:
+        """Apply the policy gates, then schedule (or queue) the fetch.
+
+        Returns the outcome — ``"started"``, ``"queued"`` (behind the
+        concurrency limit), or the ``"skipped_*"`` gate that rejected
+        the request — so callers (and trace spans) can attribute what
+        happened to each ready prefetch.
+        """
         if PERF.enabled:
             PERF.incr("prefetch.submitted")
         site = ready.instance.signature.site
         policy = self.config.policy(site)
         if not policy.prefetch:
             self.skipped_policy += 1
-            return
+            return "skipped_policy"
         if ready.instance.depth > self.config.max_chain_depth:
             self.skipped_depth += 1
-            return
+            return "skipped_depth"
         if policy.condition is not None and not policy.condition.evaluate(
             getattr(ready.instance, "pred_context", {})
         ):
             self.skipped_condition += 1
-            return
+            return "skipped_condition"
         if policy.popularity_top_k is not None and not self.popularity.allows(
             site, item_key_for_instance(ready.instance), policy.popularity_top_k
         ):
             self.skipped_popularity += 1
-            return
+            return "skipped_popularity"
         probability = self.config.effective_probability(site)
         if probability < 1.0 and self.rng.random() >= probability:
             self.skipped_probability += 1
-            return
+            return "skipped_probability"
         if (
             self.config.data_budget_bytes is not None
             and self.prefetch_bytes >= self.config.data_budget_bytes
         ):
             self.skipped_budget += 1
-            return
+            return "skipped_budget"
         key = (ready.instance.user, ready.request.exact_key())
         if key in self._inflight or self.cache.contains_fresh(
             ready.instance.user, ready.request, self.sim.now
         ):
             self.skipped_duplicate += 1
-            return
+            return "skipped_duplicate"
         self._inflight.add(key)
         if self._active < self.max_concurrent:
             self._start(ready)
+            return "started"
+        self._sequence += 1
+        if self.lazy_drain:
+            self._enqueue_waiting(site, self._sequence, ready)
         else:
-            self._sequence += 1
-            if self.lazy_drain:
-                self._enqueue_waiting(site, self._sequence, ready)
-            else:
-                heapq.heappush(
-                    self._waiting, (-self._priority(site), self._sequence, ready)
-                )
-            if PERF.enabled:
-                PERF.peak("prefetch.queue_peak", self.waiting)
+            heapq.heappush(
+                self._waiting, (-self._priority(site), self._sequence, ready)
+            )
+        if PERF.enabled:
+            PERF.peak("prefetch.queue_peak", self.waiting)
+        return "queued"
 
     def _priority(self, site: str) -> float:
         if not self._priority_enabled:
@@ -284,10 +292,19 @@ class Prefetcher:
         for name, value in policy.add_header:
             wire_request.headers.add(name, value)
         started_at = self.sim.now
+        # each background fetch is its own trace (kind="prefetch") —
+        # it runs asynchronously, after the triggering request's trace
+        # has already been filed
+        trace = TRACER.begin(user, kind="prefetch") if TRACER.enabled else None
+        if trace is not None:
+            trace.tag("signature", site)
         try:
+            span = trace.start_span("origin_fetch") if trace is not None else None
             response, transferred = yield self.sim.spawn(
                 origin_fetch(self.sim, self.origins, wire_request, user)
             )
+            if span is not None:
+                trace.end_span(span, bytes=transferred, signature=site)
             self.prefetch_bytes += transferred
             self.issued += 1
             if PERF.enabled:
@@ -298,6 +315,7 @@ class Prefetcher:
                 self.sample_requests[site] = ready.request.copy()
             if response.ok:
                 self.success_by_site[site] = self.success_by_site.get(site, 0) + 1
+                span = trace.start_span("store") if trace is not None else None
                 self.cache.put(
                     user,
                     ready.request,
@@ -306,6 +324,8 @@ class Prefetcher:
                     now=self.sim.now,
                     ttl=policy.expiration_time,
                 )
+                if span is not None:
+                    trace.end_span(span, signature=site)
                 # chain prefetching (Fig. 3c): the prefetched response
                 # may itself be a predecessor
                 transaction = Transaction(
@@ -317,13 +337,24 @@ class Prefetcher:
                     prefetched=True,
                 )
                 for next_ready in self.learner.observe(
-                    transaction, user, depth=ready.instance.depth
+                    transaction, user, depth=ready.instance.depth, trace=trace
                 ):
-                    self.submit(next_ready)
+                    if trace is not None:
+                        span = trace.start_span(
+                            "prefetch_issue", site=next_ready.instance.signature.site
+                        )
+                        trace.end_span(span, outcome=self.submit(next_ready))
+                    else:
+                        self.submit(next_ready)
+                if trace is not None:
+                    trace.tag("ok", True)
             else:
                 self.errors += 1
                 self.error_by_site[site] = self.error_by_site.get(site, 0) + 1
+                if trace is not None:
+                    trace.tag("ok", False)
         finally:
+            TRACER.finish(trace)
             self._inflight.discard((user, ready.request.exact_key()))
             self._active -= 1
             self._drain()

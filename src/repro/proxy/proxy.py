@@ -17,6 +17,7 @@ from typing import Dict, Generator, Optional
 from repro.analysis.model import AnalysisResult
 from repro.httpmsg.message import Request, Response, Transaction
 from repro.metrics.perf import PERF
+from repro.metrics.trace import TRACER, TraceContext
 from repro.netsim.link import Link
 from repro.netsim.sim import Delay, Simulator
 from repro.netsim.transport import OriginMap, Transport
@@ -65,15 +66,40 @@ class AccelerationProxy:
         self.on_cache_hit = None
 
     # ------------------------------------------------------------------
-    def handle_request(self, request: Request, user: str) -> Generator:
-        """Process: Fig. 10's per-request workflow; returns Response."""
+    def handle_request(
+        self, request: Request, user: str, trace: Optional[TraceContext] = None
+    ) -> Generator:
+        """Process: Fig. 10's per-request workflow; returns Response.
+
+        ``trace`` is an optional request-lifecycle trace context (one
+        span per stage); when ``None`` and the global tracer is armed,
+        this proxy begins (and finishes) its own.  Callers that begin
+        the trace — e.g. :class:`~repro.proxy.multiapp.MultiAppProxy`
+        — keep ownership and finish it themselves.
+        """
         self.client_bytes += request.wire_size()
+        owns_trace = trace is None and TRACER.enabled
+        if owns_trace:
+            trace = TRACER.begin(user)
+            owns_trace = trace is not None
+        span = trace.start_span("match") if trace is not None else None
         with PERF.stage("proxy.dispatch"):
             signature = self.learner.signature_for(request)
         site = signature.site if signature else None
-        entry = self.cache.get(user, request, self.sim.now)
+        if span is not None:
+            trace.end_span(span, signature=site or "")
+        observing = trace is not None or PERF.enabled
+        span = trace.start_span("cache_lookup") if trace is not None else None
+        with PERF.stage("proxy.cache_lookup"):
+            if observing:
+                entry, lookup_outcome = self.cache.lookup(user, request, self.sim.now)
+            else:
+                entry = self.cache.get(user, request, self.sim.now)
+                lookup_outcome = "hit" if entry is not None else "miss_absent"
         started_at = self.sim.now
         if entry is not None:
+            if span is not None:
+                trace.end_span(span, outcome="hit", signature=site or "", shard=user)
             yield Delay(PROXY_PROCESSING)
             entry.served = True
             self.served_prefetched += 1
@@ -84,11 +110,24 @@ class AccelerationProxy:
             response = entry.response
             prefetched = True
         else:
+            if observing:
+                cause = self._miss_cause(signature, user, lookup_outcome)
+                if PERF.enabled:
+                    PERF.incr("cache.miss." + cause)
+                if span is not None:
+                    trace.end_span(
+                        span, outcome=cause, signature=site or "", shard=user
+                    )
             if site and signature.is_successor:
                 self.cache.record_miss(site)
+            fetch_span = (
+                trace.start_span("origin_fetch") if trace is not None else None
+            )
             response, transferred = yield self.sim.spawn(
                 origin_fetch(self.sim, self.origins, request, user)
             )
+            if fetch_span is not None:
+                trace.end_span(fetch_span, bytes=transferred, signature=site or "")
             self.server_bytes += transferred
             self.forwarded += 1
             prefetched = False
@@ -106,10 +145,50 @@ class AccelerationProxy:
             prefetched=prefetched,
         )
         with PERF.stage("proxy.learn"):
-            ready_list = self.learner.observe(transaction, user, depth=0)
-        for ready in ready_list:
-            self.prefetcher.submit(ready)
+            ready_list = self.learner.observe(transaction, user, depth=0, trace=trace)
+        if trace is not None:
+            for ready in ready_list:
+                span = trace.start_span(
+                    "prefetch_issue", site=ready.instance.signature.site
+                )
+                outcome = self.prefetcher.submit(ready)
+                trace.end_span(span, outcome=outcome)
+            trace.tag("served", "prefetched" if prefetched else "origin")
+            if owns_trace:
+                TRACER.finish(trace)
+        else:
+            for ready in ready_list:
+                self.prefetcher.submit(ready)
         return response
+
+    def _miss_cause(
+        self,
+        signature,
+        user: str,
+        lookup_outcome: str,
+    ) -> str:
+        """Attribute one cache miss to its cause (§4.5 attribution).
+
+        ``unmatched`` — no signature claims the request; ``not_successor``
+        — the signature is never a prefetch target; ``disabled`` — the
+        policy turned prefetching off for this site; ``miss_expired`` —
+        a prefetched entry was present but past its TTL;
+        ``wildcard_pending`` — the learner still holds an incomplete
+        instance for this (user, site), i.e. a wildcard/field value had
+        not been learned in time; ``miss_absent`` — nothing was ever
+        prefetched for this exact request.
+        """
+        if signature is None:
+            return "unmatched"
+        if not signature.is_successor:
+            return "not_successor"
+        if not self.config.policy(signature.site).prefetch:
+            return "disabled"
+        if lookup_outcome == "miss_expired":
+            return "miss_expired"
+        if self.learner.has_pending(user, signature.site):
+            return "wildcard_pending"
+        return "miss_absent"
 
     # ------------------------------------------------------------------
     def total_server_bytes(self) -> int:

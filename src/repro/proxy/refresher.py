@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Generator, List, Tuple
 
 from repro.httpmsg.message import Request, Transaction
+from repro.metrics.trace import TRACER
 from repro.netsim.sim import Delay, Simulator
 from repro.proxy.prefetcher import origin_fetch
 from repro.proxy.proxy import AccelerationProxy
@@ -89,21 +90,35 @@ class Refresher:
     def _refresh_one(self, user: str, site: str, request: Request) -> Generator:
         sim = self.proxy.sim
         started_at = sim.now
+        # background refreshes trace as their own kind, so a postmortem
+        # can tell refresh traffic from demand-triggered prefetches
+        trace = TRACER.begin(user, kind="refresh") if TRACER.enabled else None
+        if trace is not None:
+            trace.tag("signature", site)
+        span = trace.start_span("origin_fetch") if trace is not None else None
         response, transferred = yield sim.spawn(
             origin_fetch(sim, self.proxy.origins, request, user)
         )
+        if span is not None:
+            trace.end_span(span, bytes=transferred, signature=site)
         self.proxy.prefetcher.prefetch_bytes += transferred
         if response.ok:
             policy = self.proxy.config.policy(site)
+            span = trace.start_span("store") if trace is not None else None
             self.proxy.cache.put(
                 user, request, response, site,
                 now=sim.now, ttl=policy.expiration_time,
             )
+            if span is not None:
+                trace.end_span(span, signature=site)
             self.refreshed += 1
             # refreshed responses keep feeding the learner (chains)
             transaction = Transaction(
                 request, response, started_at, sim.now, user=user, prefetched=True
             )
-            for ready in self.proxy.learner.observe(transaction, user, depth=1):
+            for ready in self.proxy.learner.observe(
+                transaction, user, depth=1, trace=trace
+            ):
                 self.proxy.prefetcher.submit(ready)
+        TRACER.finish(trace)
         return None
