@@ -7,7 +7,10 @@ Three measurements, one per layer of the engine, written to
   4-worker process pool with a warm on-disk artifact cache — rows must
   be byte-identical; wall-clock speedup is recorded, and asserted
   (>= 2x) only on machines with >= 4 cores, since a 1-core container
-  cannot physically show it;
+  cannot physically show it.  On *any* machine the parallel entry
+  point must not lose to serial by more than noise — the break-even
+  projection falls back to in-process execution when the pool cannot
+  pay for itself;
 * the analysis artifact cache: cold ``prepare_app`` vs a warm load
   from disk for the same app;
 * the simulator event loop: the same spawn-heavy workload under the
@@ -192,6 +195,10 @@ def test_perf_experiments(tmp_path):
         sim_modes["fast"]["scheduler_pops"] + sim_modes["fast"]["inline_starts"]
         == sim_modes["compat"]["scheduler_pops"]
     )
+    # the break-even fallback guarantees jobs>1 is never a regression:
+    # on few-core boxes the projection keeps the sweep serial, so the
+    # parallel entry point costs at most noise over the serial oracle
+    assert parallel_s <= serial_s * 1.10
     # wall-clock speedup needs real cores; a 1-core container cannot show it
     if (os.cpu_count() or 1) >= SWEEP_JOBS:
         assert speedup >= 2.0

@@ -6,7 +6,13 @@ volume per cell constant (duration ∝ 1/N) so the cells compare
 per-request *cost*, not workload size.  The tentpole claim asserted
 here: with the sharded timer-wheel cache and the lazy prefetch drain,
 serving cost is population-independent — per-request wall time at 10k
-users stays within 2× of the 100-user cell.  Writes the sweep rows to
+users stays within 2× of the 100-user cell.
+
+A second section runs the three-way strategy comparison (appx /
+history / none) on one identical session-consistent workload and
+asserts prefetching actually pays: appx hit rate above 20%, p50 and
+p95 strictly below the no-prefetch baseline, and a thrash ratio
+(evictions / stores) under 0.5.  Both sections land in
 ``BENCH_scale.json`` at the repo root as the trajectory artifact.
 """
 
@@ -17,7 +23,11 @@ from pathlib import Path
 
 from conftest import banner, run_once
 
-from repro.experiments.scale import run_scale_sweep
+from repro.experiments.scale import (
+    format_strategy_table,
+    run_scale_sweep,
+    run_strategy_comparison,
+)
 
 ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_scale.json"
 USER_COUNTS = [100, 1_000, 10_000]
@@ -25,6 +35,14 @@ USER_COUNTS = [100, 1_000, 10_000]
 DURATIONS = {100: 10.0, 1_000: 1.0, 10_000: 0.1}
 RATE = 0.5
 MAX_ENTRIES_PER_USER = 32
+
+#: strategy-comparison workload: long enough for sessions to cycle and
+#: the admission gate to warm up, small enough to stay a smoke test
+COMPARE_USERS = 10
+COMPARE_DURATION = 40.0
+COMPARE_RATE = 1.0
+COMPARE_SEED = 5
+ADMISSION_THRESHOLD = 0.2
 
 
 def test_perf_scale(benchmark):
@@ -88,5 +106,36 @@ def test_perf_scale(benchmark):
     # entries/user, so LRU evictions must have fired
     assert rows[100]["cache_lru_evictions"] > 0
 
+    # ------------------------------------------------------------------
+    # strategy comparison: does prefetching pay for itself?
+    # ------------------------------------------------------------------
+    comparison = run_strategy_comparison(
+        COMPARE_USERS,
+        COMPARE_DURATION,
+        rate_per_user=COMPARE_RATE,
+        seed=COMPARE_SEED,
+        admission_threshold=ADMISSION_THRESHOLD,
+        estimate_expiration=True,
+    )
+    banner("Prefetch strategy comparison on one identical workload")
+    print(format_strategy_table(comparison))
+
+    baseline = comparison["rows"]["none"]
+    appx = comparison["rows"]["appx"]
+    derived = comparison["derived"]["appx"]
+    # every strategy served the exact same seeded workload
+    for row in comparison["rows"].values():
+        assert row["requests"] == baseline["requests"]
+    # prefetch efficacy: the paper's claim, now measured
+    assert derived["hit_rate"] >= 0.2
+    assert appx["latency_p50_ms"] < baseline["latency_p50_ms"]
+    assert appx["latency_p95_ms"] <= baseline["latency_p95_ms"]
+    # hit-aware admission keeps the cache from thrashing
+    assert derived["thrash_ratio"] < 0.5
+    assert appx["skipped_admission"] > 0
+    # the expiration estimator converged on live signatures
+    assert appx["expiration"]["converged"] > 0
+
+    result["strategy_comparison"] = comparison
     ARTIFACT.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     print("wrote {}".format(ARTIFACT.name))

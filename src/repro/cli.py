@@ -197,7 +197,11 @@ def _command_bench(args) -> int:
 
 
 def _command_scale(args) -> int:
-    from repro.experiments.scale import run_scale_sweep
+    from repro.experiments.scale import (
+        format_strategy_table,
+        run_scale_sweep,
+        run_strategy_comparison,
+    )
 
     if any(count < 1 for count in args.users):
         print("scale: --users values must be positive", file=sys.stderr)
@@ -208,18 +212,58 @@ def _command_scale(args) -> int:
     if args.trace_sample is not None and not 0.0 <= args.trace_sample <= 1.0:
         print("scale: --trace-sample must be within [0, 1]", file=sys.stderr)
         return 2
+    if args.admission_threshold is not None and not (
+        0.0 <= args.admission_threshold <= 1.0
+    ):
+        print(
+            "scale: --admission-threshold must be within [0, 1]",
+            file=sys.stderr,
+        )
+        return 2
+    if args.adaptive_budget and args.max_entries_total is None:
+        print(
+            "scale: --adaptive-budget requires --max-entries-total",
+            file=sys.stderr,
+        )
+        return 2
+    policy_kwargs = dict(
+        max_entries_per_user=args.max_entries_per_user,
+        max_entries_total=args.max_entries_total,
+        adaptive_budget=args.adaptive_budget,
+        admission_threshold=args.admission_threshold,
+        estimate_expiration=args.estimate_expiration,
+    )
+    if args.compare_strategies:
+        comparison = run_strategy_comparison(
+            max(args.users),
+            args.duration,
+            apps=args.apps,
+            rate_per_user=args.rate,
+            seed=args.seed,
+            indexed_cache=not args.naive_cache,
+            lazy_drain=not args.rebuild_drain,
+            **policy_kwargs,
+        )
+        print(format_strategy_table(comparison))
+        if args.output:
+            with open(args.output, "w") as handle:
+                json.dump(comparison, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("wrote comparison to {}".format(args.output))
+        return 0
     result = run_scale_sweep(
         args.users,
         default_duration=args.duration,
         apps=args.apps,
         rate_per_user=args.rate,
         seed=args.seed,
-        max_entries_per_user=args.max_entries_per_user,
         indexed_cache=not args.naive_cache,
         lazy_drain=not args.rebuild_drain,
         trace_path=args.trace,
         trace_sample=args.trace_sample,
         trace_seed=args.trace_seed,
+        strategy=args.strategy,
+        **policy_kwargs,
     )
     header = (
         "{:>8} {:>9} {:>9} {:>11} {:>9} {:>9} {:>9} {:>7} {:>9} {:>9}".format(
@@ -355,6 +399,25 @@ def _command_stats(args) -> int:
                     row["hits"],
                     row["misses"],
                     100.0 * row["hits"] / answered if answered else 0.0,
+                )
+            )
+    if summary.get("prefetch_by_signature"):
+        print("per-signature prefetch efficacy:")
+        print(
+            "  {:<42} {:>7} {:>7} {:>7} {:>7}".format(
+                "signature", "issued", "hits", "wasted", "hit%"
+            )
+        )
+        for signature in sorted(summary["prefetch_by_signature"]):
+            row = summary["prefetch_by_signature"][signature]
+            issued = row.get("issued", 0)
+            print(
+                "  {:<42} {:>7} {:>7} {:>7} {:>6.0f}%".format(
+                    signature,
+                    issued,
+                    row.get("hits", 0),
+                    row.get("wasted", 0),
+                    100.0 * row.get("hits", 0) / issued if issued else 0.0,
                 )
             )
     if args.prom:
@@ -575,6 +638,34 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument(
         "--max-entries-per-user", type=int, default=None,
         help="bound each user's cache shard (LRU eviction)",
+    )
+    scale.add_argument(
+        "--strategy", choices=["appx", "history", "none"], default="appx",
+        help="prefetch strategy: appx (dependency-driven), history "
+             "(most-frequent-successor baseline), none (default: appx)",
+    )
+    scale.add_argument(
+        "--compare-strategies", action="store_true",
+        help="run all three strategies on the identical workload and "
+             "print the comparison table (uses the largest --users value)",
+    )
+    scale.add_argument(
+        "--max-entries-total", type=int, default=None,
+        help="global cache entry budget shared across all users",
+    )
+    scale.add_argument(
+        "--adaptive-budget", action="store_true",
+        help="apportion --max-entries-total by recent per-user hit mass",
+    )
+    scale.add_argument(
+        "--admission-threshold", type=float, default=None, metavar="PROB",
+        help="stop prefetching signatures whose observed hit probability "
+             "falls below PROB (hit-aware admission, §4.4)",
+    )
+    scale.add_argument(
+        "--estimate-expiration", action="store_true",
+        help="learn per-signature TTLs online by probing (§4.3) instead "
+             "of using the configured defaults",
     )
     scale.add_argument(
         "--naive-cache", action="store_true",

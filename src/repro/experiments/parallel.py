@@ -27,11 +27,30 @@ the engine folds worker counters, stage timings, and histograms into
 the parent's :data:`PERF` (when enabled) under the same names, plus
 ``experiments.cells`` / ``experiments.parallel_cells`` on the engine
 itself.
+
+Break-even fallback
+-------------------
+Forking a pool costs real wall time (interpreter spawn + imports),
+and on small sweeps — or boxes with one core — that overhead exceeds
+the fan-out win, making ``jobs>1`` *slower* than serial.  The engine
+therefore times the sweep's first cell inline, projects both
+schedules with :func:`should_parallelize` (a pure function: serial =
+``cost × cells`` vs parallel = spawn + per-cell dispatch + ``cost ×
+waves`` across the effective workers, capped by ``os.cpu_count``),
+and silently falls back to in-process execution when the pool cannot
+pay for itself (``experiments.fallback_serial``).  When it can, the
+cells go to a module-level *warm* pool that is kept alive across
+sweeps with the same (workers, cache) configuration
+(``experiments.pool_reuse``), so only the first parallel sweep pays
+the spawn cost.  Either path yields byte-identical rows.
 """
 
 from __future__ import annotations
 
+import atexit
+import math
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -155,6 +174,80 @@ def execute_cell(unit: WorkUnit) -> Tuple[Any, Optional[Dict[str, Any]]]:
 
 
 # ======================================================================
+# break-even projection and the warm shared pool
+# ======================================================================
+#: assumed pool start-up cost (fork + imports) when no warm pool exists
+DEFAULT_SPAWN_COST_S = 0.30
+#: assumed per-cell pickle/dispatch/collect overhead
+DEFAULT_DISPATCH_COST_S = 0.002
+
+_SHARED_POOL: Optional[ProcessPoolExecutor] = None
+_SHARED_POOL_CONFIG: Optional[Tuple[int, Optional[str]]] = None
+
+
+def effective_workers(jobs: int, cells: int) -> int:
+    """Workers that can actually run at once: jobs, cells, cores."""
+    return max(1, min(jobs, cells, os.cpu_count() or 1))
+
+
+def should_parallelize(
+    cell_cost_s: float,
+    remaining_cells: int,
+    workers: int,
+    spawn_cost_s: float,
+    dispatch_cost_s: float = DEFAULT_DISPATCH_COST_S,
+) -> bool:
+    """Pure break-even decision: does the pool beat serial execution?
+
+    ``cell_cost_s`` is the measured wall cost of one cell (the sweep's
+    first, timed inline); ``remaining_cells`` is how many are left to
+    schedule; ``spawn_cost_s`` is zero when a warm pool already exists.
+    Projected parallel wall time is spawn + dispatch×cells + cost×waves
+    (cells rounded up into waves of ``workers``); serial is cost×cells.
+    """
+    if remaining_cells <= 1 or workers <= 1:
+        return False
+    serial_s = cell_cost_s * remaining_cells
+    waves = math.ceil(remaining_cells / workers)
+    projected_s = (
+        spawn_cost_s + dispatch_cost_s * remaining_cells + cell_cost_s * waves
+    )
+    return projected_s < serial_s
+
+
+def _shared_pool(
+    workers: int, cache_env: Optional[str]
+) -> ProcessPoolExecutor:
+    """The warm pool for this (workers, cache) config, creating it once."""
+    global _SHARED_POOL, _SHARED_POOL_CONFIG
+    config = (workers, cache_env)
+    if _SHARED_POOL is not None and _SHARED_POOL_CONFIG == config:
+        if PERF.enabled:
+            PERF.incr("experiments.pool_reuse")
+        return _SHARED_POOL
+    shutdown_shared_pool()
+    _SHARED_POOL = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(cache_env,),
+    )
+    _SHARED_POOL_CONFIG = config
+    return _SHARED_POOL
+
+
+def shutdown_shared_pool() -> None:
+    """Tear down the warm pool (tests; registered atexit)."""
+    global _SHARED_POOL, _SHARED_POOL_CONFIG
+    if _SHARED_POOL is not None:
+        _SHARED_POOL.shutdown()
+    _SHARED_POOL = None
+    _SHARED_POOL_CONFIG = None
+
+
+atexit.register(shutdown_shared_pool)
+
+
+# ======================================================================
 # run — the engine
 # ======================================================================
 def run_figure(
@@ -163,14 +256,20 @@ def run_figure(
     params: Optional[Dict[str, Any]] = None,
     artifact_cache: Optional[AnalysisArtifactCache] = None,
     capture_perf: bool = False,
+    force_parallel: bool = False,
 ) -> Any:
     """Run one figure's sweep, fanned out over ``jobs`` processes.
 
     ``jobs=None`` or ``jobs <= 1`` executes the cells in-process (still
-    through the cell/merge decomposition).  ``artifact_cache`` (or an
-    already-exported ``REPRO_ANALYSIS_CACHE``) lets workers load
-    per-app analysis artifacts from disk instead of recomputing them.
-    Output is byte-identical to ``SERIAL_RUNNERS[figure](**params)``.
+    through the cell/merge decomposition).  With ``jobs > 1`` the first
+    cell runs inline to measure per-cell cost, and the rest go to the
+    warm shared pool only when :func:`should_parallelize` projects a
+    win — otherwise they run serially too (``force_parallel=True``
+    skips the projection; tests use it to exercise the pool path).
+    ``artifact_cache`` (or an already-exported ``REPRO_ANALYSIS_CACHE``)
+    lets workers load per-app analysis artifacts from disk instead of
+    recomputing them.  Output is byte-identical to
+    ``SERIAL_RUNNERS[figure](**params)``.
     """
     params = dict(params or {})
     if capture_perf:
@@ -188,14 +287,30 @@ def run_figure(
     if jobs is None or jobs <= 1 or len(cells) <= 1:
         outcomes = [execute_cell(unit) for unit in cells]
     else:
-        if PERF.enabled:
-            PERF.incr("experiments.parallel_cells", len(cells))
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(cells)),
-            initializer=_worker_init,
-            initargs=(cache_env,),
-        ) as pool:
-            outcomes = list(pool.map(execute_cell, cells))
+        started_at = time.perf_counter()
+        outcomes = [execute_cell(cells[0])]
+        cell_cost_s = time.perf_counter() - started_at
+        rest = cells[1:]
+        pool_workers = max(1, min(jobs, os.cpu_count() or 1))
+        warm = (
+            _SHARED_POOL is not None
+            and _SHARED_POOL_CONFIG == (pool_workers, cache_env)
+        )
+        go_parallel = force_parallel or should_parallelize(
+            cell_cost_s,
+            len(rest),
+            effective_workers(jobs, len(rest)),
+            0.0 if warm else DEFAULT_SPAWN_COST_S,
+        )
+        if go_parallel:
+            if PERF.enabled:
+                PERF.incr("experiments.parallel_cells", len(rest))
+            pool = _shared_pool(pool_workers, cache_env)
+            outcomes.extend(pool.map(execute_cell, rest))
+        else:
+            if PERF.enabled:
+                PERF.incr("experiments.fallback_serial")
+            outcomes.extend(execute_cell(unit) for unit in rest)
 
     results = [result for result, _ in outcomes]
     if PERF.enabled:
@@ -211,8 +326,13 @@ def run_figures(
     params_by_figure: Optional[Dict[str, Dict[str, Any]]] = None,
     artifact_cache: Optional[AnalysisArtifactCache] = None,
     capture_perf: bool = False,
+    force_parallel: bool = False,
 ) -> Dict[str, Any]:
-    """Run several figures; returns ``{figure: rows}`` in input order."""
+    """Run several figures; returns ``{figure: rows}`` in input order.
+
+    Sweeps share the warm pool, so a multi-figure run pays at most one
+    pool spawn.
+    """
     params_by_figure = params_by_figure or {}
     return {
         figure: run_figure(
@@ -221,6 +341,7 @@ def run_figures(
             params=params_by_figure.get(figure),
             artifact_cache=artifact_cache,
             capture_perf=capture_perf,
+            force_parallel=force_parallel,
         )
         for figure in figures
     }

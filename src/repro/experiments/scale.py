@@ -20,6 +20,27 @@ The session template is recorded once per app by running the real
 exercise the genuine dependency chains: predecessors spawn prefetches,
 successors hit the per-user cache, and the priority queue sees real
 contention.
+
+Session-consistent replay
+-------------------------
+Origins personalize: a feed returns *different item ids per user*, and
+session cookies are per ``(origin, user)``.  Replaying the template
+user's recorded bytes verbatim under another user therefore can never
+hit the exact-match cache — the proxy prefetches the ids *this* user's
+feed returned, while the replay asks for the ids the *template* user
+saw (the measured 0–6% hit rates of earlier revisions).  Replay is
+instead recipe-based: at template-recording time, every request field
+fed by a dependency edge is annotated with *which predecessor response
+value* it came from; at replay time the field is rewritten from the
+replaying user's own latest predecessor response, and the Cookie
+header is rewritten from a per-user jar.  The replayed session is then
+exactly what a real client of that user would send — and prefetching
+can finally be measured doing its job.
+
+``--strategy {appx,history,none}`` selects what serves that workload:
+the full APPx proxy, a PALOMA-style most-frequent-successor baseline
+(:mod:`repro.proxy.history`), or no prefetching at all (the latency
+baseline the paper's claim is measured against).
 """
 
 from __future__ import annotations
@@ -27,10 +48,12 @@ from __future__ import annotations
 import time
 from typing import Dict, Generator, List, Optional, Sequence, Tuple
 
+from repro.analysis.model import AnalysisResult
 from repro.analysis.pipeline import AnalysisOptions, analyze_apk
 from repro.apps.registry import get_app
 from repro.device.runtime import AppRuntime
-from repro.httpmsg.message import Request
+from repro.httpmsg.cookies import CookieJar
+from repro.httpmsg.message import Request, Response, Transaction
 from repro.metrics.perf import PERF, rss_peak_bytes
 from repro.metrics.stats import percentile
 from repro.metrics.trace import TRACER
@@ -38,6 +61,8 @@ from repro.netsim.link import Link
 from repro.netsim.sim import Delay, Simulator
 from repro.netsim.transport import DirectTransport, OriginMap
 from repro.proxy.cache import PrefetchCache
+from repro.proxy.expiration import ExpirationEstimator
+from repro.proxy.history import HistoryPrefetcher
 from repro.proxy.multiapp import MultiAppProxy, MultiAppTransport
 from repro.proxy.proxy import AccelerationProxy
 from repro.server.content import Catalog
@@ -46,14 +71,18 @@ DEFAULT_APPS = ("wish", "doordash")
 DEFAULT_RATE_PER_USER = 0.5  # requests / user / virtual second
 PURGE_INTERVAL = 5.0  # virtual seconds between expiry sweeps
 SAMPLE_INTERVAL = 1.0  # virtual seconds between cache-size samples
+STRATEGIES = ("appx", "history", "none")
 
 
-def record_session_template(app_name: str, catalog_seed: int = 7) -> List[Request]:
-    """Replay-ready request sequence of one real app session.
+def record_session_transactions(
+    app_name: str, catalog_seed: int = 7
+) -> List[Transaction]:
+    """One real app session as its full transaction log.
 
     Runs launch plus the app's scripted main interaction on a private
-    simulator over the direct topology and returns copies of every
-    request the device issued, in order.
+    simulator over the direct topology; the responses are needed (not
+    just the requests) so replay recipes can locate which predecessor
+    response value fed each dependent request field.
     """
     spec = get_app(app_name)
     apk = spec.build_apk()
@@ -70,7 +99,101 @@ def record_session_template(app_name: str, catalog_seed: int = 7) -> List[Reques
         return None
 
     sim.run_process(flow())
-    return [t.request.copy() for t in runtime.transaction_log]
+    return list(runtime.transaction_log)
+
+
+def record_session_template(app_name: str, catalog_seed: int = 7) -> List[Request]:
+    """Replay-ready request sequence of one real app session."""
+    return [
+        t.request.copy() for t in record_session_transactions(app_name, catalog_seed)
+    ]
+
+
+class _ReplayStep:
+    """One template position: the recorded request plus its rewrite recipe.
+
+    ``subs`` holds ``(succ_path, pred_site, pred_path, value_index)``
+    tuples: at replay, the field at ``succ_path`` is overwritten with
+    the ``value_index``-th value that the replaying user's own latest
+    ``pred_site`` response exposes at ``pred_path``.
+    """
+
+    __slots__ = ("request", "site", "subs")
+
+    def __init__(self, request: Request, site: Optional[str]) -> None:
+        self.request = request
+        self.site = site
+        self.subs: List[Tuple[object, str, object, int]] = []
+
+
+def _build_replay_steps(
+    transactions: Sequence[Transaction],
+    analysis: AnalysisResult,
+    signature_for,
+) -> List[_ReplayStep]:
+    """Label template positions and derive their rewrite recipes.
+
+    For a position matched to signature ``s``, each dependency edge
+    into ``s`` is checked against the recording: when the recorded
+    request's field value appears in the template user's latest earlier
+    ``pred_site`` response at ``pred_path``, the *index* of that value
+    is what generalizes across users (feeds are personalized — the
+    value itself does not), so the recipe stores the index.
+    """
+    steps: List[_ReplayStep] = []
+    last_ok: Dict[str, int] = {}  # site -> latest earlier ok transaction
+    for index, transaction in enumerate(transactions):
+        signature = signature_for(transaction.request)
+        site = signature.site if signature is not None else None
+        step = _ReplayStep(transaction.request.copy(), site)
+        if site is not None:
+            for edge in analysis.predecessors_of(site):
+                previous = last_ok.get(edge.pred_site)
+                if previous is None:
+                    continue
+                try:
+                    template_values = edge.pred_path.extract(
+                        transactions[previous].response
+                    )
+                    own = edge.succ_path.extract(transaction.request)
+                except (ValueError, KeyError):
+                    continue
+                if own and own[0] in template_values:
+                    step.subs.append(
+                        (
+                            edge.succ_path,
+                            edge.pred_site,
+                            edge.pred_path,
+                            template_values.index(own[0]),
+                        )
+                    )
+        steps.append(step)
+        if site is not None and transaction.response.ok:
+            last_ok[site] = index
+    return steps
+
+
+class _UserSession:
+    """Per-user replay state: cookie jar, latest ok response per site,
+    and the session-template cursor."""
+
+    __slots__ = ("jar", "responses", "position")
+
+    def __init__(self) -> None:
+        self.jar = CookieJar()
+        self.responses: Dict[str, Response] = {}
+        self.position: Optional[int] = None
+
+
+def _history_site_for(learner):
+    """Label history-prefetched entries with the matching signature site
+    so per-signature hit accounting stays comparable across strategies."""
+
+    def site_for(request: Request) -> str:
+        signature = learner.signature_for(request)
+        return signature.site if signature is not None else ""
+
+    return site_for
 
 
 class _ScaleDeployment:
@@ -84,11 +207,25 @@ class _ScaleDeployment:
         max_bytes: Optional[int] = None,
         indexed_cache: bool = True,
         lazy_drain: bool = True,
+        max_entries_total: Optional[int] = None,
+        adaptive_budget: bool = False,
+        admission_threshold: Optional[float] = None,
+        strategy: str = "appx",
     ) -> None:
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                "strategy must be one of {}, got {!r}".format(STRATEGIES, strategy)
+            )
         self.sim = Simulator()
         self.origins = OriginMap()
         self.multi = MultiAppProxy(self.sim, self.origins)
+        self.strategy = strategy
         self.templates: Dict[str, List[Request]] = {}
+        self.steps: Dict[str, List[_ReplayStep]] = {}
+        #: per app, the template positions whose site is a dependency
+        #: predecessor (chain triggers) — warm starts anchor on these
+        self.pred_positions: Dict[str, List[int]] = {}
+        self.history: Dict[str, HistoryPrefetcher] = {}
         for name in apps:
             spec = get_app(name)
             app_origins, _ = spec.build_origin_map(self.sim, Catalog(catalog_seed))
@@ -103,13 +240,39 @@ class _ScaleDeployment:
                 indexed=indexed_cache,
                 max_entries_per_user=max_entries_per_user,
                 max_bytes=max_bytes,
+                max_entries_total=max_entries_total,
+                adaptive=adaptive_budget,
             )
             proxy = AccelerationProxy(
                 self.sim, app_origins, analysis, cache=cache
             )
             proxy.prefetcher.lazy_drain = lazy_drain
+            if admission_threshold is not None:
+                proxy.config.admission_threshold = admission_threshold
+            if strategy != "appx":
+                # non-appx strategies serve the identical workload with
+                # signature-driven prefetching off; cache lookups still
+                # run, so history-strategy entries get served normally
+                for site in list(proxy.config.policies):
+                    proxy.config.disable(site, "strategy={}".format(strategy))
+            if strategy == "history":
+                self.history[name] = HistoryPrefetcher(
+                    self.sim,
+                    app_origins,
+                    cache,
+                    site_for=_history_site_for(proxy.learner),
+                )
             self.multi.register_app(name, proxy)
-            self.templates[name] = record_session_template(name, catalog_seed)
+            transactions = record_session_transactions(name, catalog_seed)
+            self.templates[name] = [t.request.copy() for t in transactions]
+            steps = _build_replay_steps(
+                transactions, analysis, proxy.learner.signature_for
+            )
+            self.steps[name] = steps
+            pred_sites = {edge.pred_site for edge in analysis.dependencies}
+            self.pred_positions[name] = [
+                i for i, step in enumerate(steps) if step.site in pred_sites
+            ]
 
 
 def _origin_uri(origin: str):
@@ -133,6 +296,12 @@ def run_scale(
     trace_sample: Optional[float] = None,
     trace_seed: int = 0,
     trace_capacity: int = 65_536,
+    strategy: str = "appx",
+    max_entries_total: Optional[int] = None,
+    adaptive_budget: bool = False,
+    admission_threshold: Optional[float] = None,
+    estimate_expiration: bool = False,
+    warm_start: bool = False,
 ) -> Dict[str, object]:
     """Serve an open-loop Poisson workload; returns the metrics row.
 
@@ -165,10 +334,24 @@ def run_scale(
         max_bytes=max_bytes,
         indexed_cache=indexed_cache,
         lazy_drain=lazy_drain,
+        max_entries_total=max_entries_total,
+        adaptive_budget=adaptive_budget,
+        admission_threshold=admission_threshold,
+        strategy=strategy,
     )
     sim = deployment.sim
     multi = deployment.multi
     rng = random.Random(seed)
+
+    estimators: List[ExpirationEstimator] = []
+    if estimate_expiration and strategy == "appx":
+        for _, proxy in multi._apps:
+            estimator = ExpirationEstimator(sim, proxy.origins, proxy.config)
+            proxy.prefetcher.expiration = estimator
+            estimators.append(estimator)
+            sim.spawn(
+                estimator.run(proxy.prefetcher.sample_requests, duration=duration)
+            )
 
     user_app = [apps[i % len(apps)] for i in range(users)]
     # each user starts at a random point of its session template so the
@@ -177,8 +360,15 @@ def run_scale(
     # once (large N, short duration) or many times (small N) — without
     # this, large-N cells would be 100% session-start requests and the
     # per-request cost comparison across population sizes would be
-    # comparing different workloads
-    user_position: Dict[int, int] = {}
+    # comparing different workloads.  ``warm_start`` backs the random
+    # start up to the nearest chain-trigger position, so a new user's
+    # first requests include the predecessor that makes its successors
+    # prefetchable at all — the right mode for strategy comparisons
+    # (hits need the user's own predecessor response), but OFF by
+    # default because it breaks exactly that stationarity: every first
+    # arrival becomes a fan-out-triggering predecessor, and short
+    # large-N cells degenerate into pure prefetch storms.
+    sessions: Dict[int, _UserSession] = {}
     transports: Dict[int, MultiAppTransport] = {}
     latencies: List[float] = []
     state = {"sent": 0, "completed": 0, "peak_entries": 0}
@@ -194,13 +384,47 @@ def run_scale(
             transports[user_index] = transport
         return transport
 
-    def send_one(user_index: int, request: Request) -> Generator:
+    def send_one(user_index: int, step: _ReplayStep) -> Generator:
+        app = user_app[user_index]
+        session = sessions[user_index]
+        user = "u{}".format(user_index)
+        request = step.request.copy()
+        # session-consistent replay: dependency-fed fields come from
+        # this user's own predecessor responses, and the Cookie header
+        # from this user's own jar — never the template user's bytes
+        for succ_path, pred_site, pred_path, value_index in step.subs:
+            predecessor = session.responses.get(pred_site)
+            if predecessor is None:
+                continue
+            try:
+                values = pred_path.extract(predecessor)
+                if value_index < len(values):
+                    succ_path.assign(request, values[value_index])
+            except (ValueError, KeyError):
+                pass
+        origin = request.uri.origin()
+        # Rewrite the Cookie header only on steps where the recorded
+        # template sent one: real apps attach cookies consistently per
+        # endpoint, and the learner's prefetch requests mirror exactly
+        # that shape (no cookie field in the signature means prefetched
+        # entries are stored cookie-less — a demand replay that adds
+        # one can never exact-match them).  When the jar has nothing
+        # yet, the template value is left alone so the request still
+        # matches its signature on the first cycle.
+        if step.request.headers.get("Cookie") is not None:
+            cookie = session.jar.cookie_header(origin)
+            if cookie:
+                request.headers.set("Cookie", cookie)
+        history = deployment.history.get(app)
+        if history is not None:
+            history.observe(user, request, sim.now)
         started_at = sim.now
-        yield sim.spawn(
-            transport_for(user_index).send(request, "u{}".format(user_index))
-        )
+        response = yield sim.spawn(transport_for(user_index).send(request, user))
         latencies.append(sim.now - started_at)
         state["completed"] += 1
+        session.jar.store_from_response(origin, response)
+        if step.site is not None and response.ok:
+            session.responses[step.site] = response
         return None
 
     def arrivals() -> Generator:
@@ -210,14 +434,22 @@ def run_scale(
             if sim.now >= duration:
                 return None
             user_index = rng.randrange(users)
-            template = deployment.templates[user_app[user_index]]
-            position = user_position.get(user_index)
-            if position is None:
-                position = rng.randrange(len(template))
-            request = template[position % len(template)]
-            user_position[user_index] = position + 1
+            app = user_app[user_index]
+            steps = deployment.steps[app]
+            session = sessions.get(user_index)
+            if session is None:
+                session = sessions[user_index] = _UserSession()
+                position = rng.randrange(len(steps))
+                if warm_start:
+                    anchors = deployment.pred_positions[app]
+                    if anchors:
+                        eligible = [p for p in anchors if p <= position]
+                        position = eligible[-1] if eligible else anchors[0]
+                session.position = position
+            step = steps[session.position % len(steps)]
+            session.position += 1
             state["sent"] += 1
-            sim.spawn(send_one(user_index, request.copy()))
+            sim.spawn(send_one(user_index, step))
 
     def sweeper() -> Generator:
         while sim.now < duration:
@@ -260,8 +492,9 @@ def run_scale(
     if tracing:
         trace_stats = TRACER.stats()
         if trace_path is not None:
-            trace_stats["exported"] = TRACER.export_jsonl(trace_path)
             trace_stats["path"] = trace_path
+        # exported below, after the per-signature summary record is
+        # appended to the ring (so offline audits see it in the file)
 
     # per-stage latency histograms out of the registry: PERF.stage
     # feeds stage_seconds{stage=...}; sampled trace spans feed
@@ -290,10 +523,46 @@ def run_scale(
         state["peak_entries"] = final_entries
     served = sum(proxy.served_prefetched for _, proxy in multi._apps)
     forwarded = sum(proxy.forwarded for _, proxy in multi._apps)
-    issued = sum(proxy.prefetcher.issued for _, proxy in multi._apps)
+    issued = sum(proxy.prefetcher.issued for _, proxy in multi._apps) + sum(
+        h.issued for h in deployment.history.values()
+    )
     caches = [proxy.cache for _, proxy in multi._apps]
     requests = state["completed"]
     answered = served + forwarded
+
+    # per-signature prefetch efficacy: issued / hits / wasted, merged
+    # across apps — the audit table behind admission decisions
+    by_signature: Dict[str, Dict[str, int]] = {}
+
+    def _signature_cell(site: str) -> Dict[str, int]:
+        cell = by_signature.get(site)
+        if cell is None:
+            cell = by_signature[site] = {"issued": 0, "hits": 0, "wasted": 0}
+        return cell
+
+    for _, proxy in multi._apps:
+        for site, count in proxy.prefetcher.issued_by_site.items():
+            _signature_cell(site)["issued"] += count
+        for site, count in proxy.cache.hits.items():
+            _signature_cell(site)["hits"] += count
+        for site, count in proxy.cache.wasted_by_site.items():
+            _signature_cell(site)["wasted"] += count
+    for history in deployment.history.values():
+        _signature_cell("(history)")["issued"] += history.issued
+
+    if tracing:
+        TRACER.append_record(
+            {
+                "trace_id": "summary",
+                "user": "-",
+                "kind": "summary",
+                "spans": [],
+                "tags": {"prefetch_by_signature": by_signature},
+            }
+        )
+        if trace_path is not None and trace_stats is not None:
+            trace_stats["exported"] = TRACER.export_jsonl(trace_path)
+
     return {
         "users": users,
         "apps": list(apps),
@@ -325,10 +594,145 @@ def run_scale(
         "lazy_drain": lazy_drain,
         "max_entries_per_user": max_entries_per_user,
         "max_bytes": max_bytes,
+        "max_entries_total": max_entries_total,
+        "adaptive_budget": adaptive_budget,
+        "admission_threshold": admission_threshold,
+        "strategy": strategy,
+        "prefetch_wasted": sum(c.wasted for c in caches),
+        "skipped_admission": sum(
+            proxy.prefetcher.skipped_admission for _, proxy in multi._apps
+        ),
+        "prefetch_by_signature": by_signature,
+        "expiration": (
+            {
+                "sites": sum(len(e.estimates) for e in estimators),
+                "converged": sum(
+                    1
+                    for e in estimators
+                    for est in e.estimates.values()
+                    if est.converged
+                ),
+                "probes_issued": sum(e.probes_issued for e in estimators),
+                "disabled": sum(len(e.disabled_sites) for e in estimators),
+            }
+            if estimators
+            else None
+        ),
+        "history": (
+            {
+                name: prefetcher.stats()
+                for name, prefetcher in deployment.history.items()
+            }
+            if deployment.history
+            else None
+        ),
         "stage_latency_us": stage_latency,
         "miss_causes": miss_causes,
         "trace": trace_stats,
     }
+
+
+def run_strategy_comparison(
+    users: int,
+    duration: float,
+    apps: Sequence[str] = DEFAULT_APPS,
+    rate_per_user: float = 1.0,
+    seed: int = 0,
+    strategies: Sequence[str] = ("none", "history", "appx"),
+    **kwargs,
+) -> Dict[str, object]:
+    """Three-way strategy comparison on one identical workload.
+
+    Each strategy serves the same seeded open-loop workload (same
+    arrival times, same users, same session positions), so latency and
+    hit-rate deltas are attributable to the prefetch strategy alone.
+    ``derived`` reports each strategy's p50/p95 delta against the
+    ``none`` baseline — the paper's headline measurement.
+    """
+    kwargs.setdefault("warm_start", True)
+    rows: Dict[str, Dict[str, object]] = {}
+    for strategy in strategies:
+        rows[strategy] = run_scale(
+            users,
+            duration,
+            apps=apps,
+            rate_per_user=rate_per_user,
+            seed=seed,
+            strategy=strategy,
+            **kwargs,
+        )
+    derived: Dict[str, Dict[str, float]] = {}
+    baseline = rows.get("none")
+    for strategy, row in rows.items():
+        if baseline is None or strategy == "none":
+            continue
+        p50 = float(row["latency_p50_ms"])
+        base_p50 = float(baseline["latency_p50_ms"])
+        derived[strategy] = {
+            "p50_delta_ms": p50 - base_p50,
+            "p95_delta_ms": float(row["latency_p95_ms"])
+            - float(baseline["latency_p95_ms"]),
+            "p50_speedup": (base_p50 / p50) if p50 else 0.0,
+            "hit_rate": float(row["hit_rate"]),
+            "thrash_ratio": (
+                float(row["cache_lru_evictions"]) / float(row["cache_stored"])
+                if row["cache_stored"]
+                else 0.0
+            ),
+        }
+    return {
+        "workload": {
+            "users": users,
+            "duration_s": duration,
+            "apps": list(apps),
+            "rate_per_user": rate_per_user,
+            "seed": seed,
+        },
+        "rows": rows,
+        "derived": derived,
+    }
+
+
+def format_strategy_table(comparison: Dict[str, object]) -> str:
+    """Render a strategy comparison as an aligned text table.
+
+    Shared by ``repro scale --compare-strategies``, the BENCH_scale
+    benchmark, and the CI prefetch-efficacy gate (which appends it to
+    ``bench_tables.txt``).
+    """
+    workload = comparison["workload"]
+    lines = [
+        "strategy comparison: users={users} duration={duration_s}s "
+        "rate={rate_per_user}/s apps={apps} seed={seed}".format(
+            users=workload["users"],
+            duration_s=workload["duration_s"],
+            rate_per_user=workload["rate_per_user"],
+            apps=",".join(workload["apps"]),
+            seed=workload["seed"],
+        ),
+        "{:<9} {:>9} {:>7} {:>9} {:>9} {:>8} {:>8} {:>9} {:>9}".format(
+            "strategy", "requests", "hit", "p50_ms", "p95_ms",
+            "issued", "wasted", "adm_skip", "speedup",
+        ),
+    ]
+    derived = comparison["derived"]
+    for strategy, row in comparison["rows"].items():
+        speedup = derived.get(strategy, {}).get("p50_speedup")
+        lines.append(
+            "{:<9} {:>9} {:>6.1f}% {:>9.1f} {:>9.1f} {:>8} {:>8} {:>9} "
+            "{:>9}".format(
+                strategy,
+                row["requests"],
+                100.0 * float(row["hit_rate"]),
+                float(row["latency_p50_ms"]),
+                float(row["latency_p95_ms"]),
+                row["prefetch_issued"],
+                row["prefetch_wasted"],
+                row["skipped_admission"],
+                "{:.2f}x".format(speedup) if speedup is not None else "-",
+            )
+        )
+    return "\n".join(lines)
 
 
 def run_scale_sweep(

@@ -75,8 +75,10 @@ LOOKUP_OUTCOMES = (
 #: the miss causes reported per request class (everything but a hit)
 MISS_CAUSES = tuple(o for o in LOOKUP_OUTCOMES if o != "hit")
 
-#: trace kinds: client requests, background prefetches, §5 refreshes
-KINDS = ("request", "prefetch", "refresh")
+#: trace kinds: client requests, background prefetches, §5 refreshes,
+#: plus run-level "summary" records (spanless, tags-only — e.g. the
+#: scale harness's per-signature issued/hit/wasted table)
+KINDS = ("request", "prefetch", "refresh", "summary")
 
 
 class Span:
@@ -277,6 +279,19 @@ class Tracer:
                         labels={"stage": span.name, "outcome": outcome},
                     )
 
+    def append_record(self, record: Dict[str, object]) -> None:
+        """File a pre-built record (e.g. a run-level ``summary``).
+
+        Validated against the export schema so a bad producer fails at
+        the source, not in a downstream ``repro stats`` run.
+        """
+        errors = validate_record(record)
+        if errors:
+            raise ValueError("invalid record: {}".format("; ".join(errors)))
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(record)
+
     # -- reading / export ----------------------------------------------
     def records(self) -> List[Dict[str, object]]:
         return list(self._ring)
@@ -399,8 +414,18 @@ def aggregate_records(records) -> Dict[str, object]:
     outcome_counts: Dict[str, Dict[str, int]] = {}
     kinds: Dict[str, int] = {}
     by_signature: Dict[str, Dict[str, int]] = {}
+    prefetch_by_signature: Dict[str, Dict[str, int]] = {}
     for record in records:
         kinds[record["kind"]] = kinds.get(record["kind"], 0) + 1
+        if record["kind"] == "summary":
+            table = record.get("tags", {}).get("prefetch_by_signature")
+            if isinstance(table, dict):
+                for site, cell in table.items():
+                    merged = prefetch_by_signature.setdefault(
+                        site, {"issued": 0, "hits": 0, "wasted": 0}
+                    )
+                    for key in merged:
+                        merged[key] += int(cell.get(key, 0))
         for span in record["spans"]:
             name = span["name"]
             wall_by_stage.setdefault(name, []).append(span["wall_us"])
@@ -444,6 +469,7 @@ def aggregate_records(records) -> Dict[str, object]:
         "miss_causes": miss_causes,
         "span_outcomes": outcome_counts,
         "by_signature": by_signature,
+        "prefetch_by_signature": prefetch_by_signature,
     }
 
 

@@ -21,6 +21,21 @@ must cap memory.  ``PrefetchCache(indexed=False)`` retains the seed's
 flat dict with full-scan purge/lookup as the differential oracle:
 both modes must agree on every observable result
 (``tests/test_proxy_cache_scale.py``).
+
+Adaptive per-user budgets
+-------------------------
+A flat per-user cap thrashes: every user gets the same shard size no
+matter whether their prefetches are ever consumed.  With
+``max_entries_total`` + ``adaptive=True`` the store instead carries a
+*global* entry budget apportioned by recent per-user hit mass (two
+rotating count windows — O(1) per hit, no decay sweeps): half the
+budget splits equally across active shards, half follows the hit
+mass, with a small floor so new users can bootstrap.  Users whose
+prefetched entries get consumed keep larger shards; users that only
+ever fill and evict stop stealing space from them.  Entries evicted
+or expired *before their first hit* are counted as ``wasted``
+(per-site in ``wasted_by_site``) — the signal the prefetcher's
+admission gate and offline audits run on.
 """
 
 from __future__ import annotations
@@ -61,6 +76,11 @@ class PrefetchCache:
     and ``max_bytes`` (both indexed-only) bound the store with LRU
     eviction; unbounded is the default and preserves the oracle's
     insertion-order observables exactly.
+
+    ``max_entries_total`` bounds the whole store; with
+    ``adaptive=True`` that global budget is additionally apportioned
+    per user by recent hit mass (see the module docstring), so the
+    flat per-user cap can be dropped entirely.
     """
 
     def __init__(
@@ -69,13 +89,23 @@ class PrefetchCache:
         max_entries_per_user: Optional[int] = None,
         max_bytes: Optional[int] = None,
         wheel_tick: float = 0.5,
+        max_entries_total: Optional[int] = None,
+        adaptive: bool = False,
+        min_entries_per_user: int = 4,
+        hit_mass_window: float = 30.0,
     ) -> None:
-        if not indexed and (max_entries_per_user or max_bytes):
+        if not indexed and (max_entries_per_user or max_bytes or max_entries_total):
             raise ValueError("LRU bounds require the indexed cache")
+        if adaptive and not max_entries_total:
+            raise ValueError("adaptive budgets require max_entries_total")
         self.indexed = indexed
         self.max_entries_per_user = max_entries_per_user
         self.max_bytes = max_bytes
-        self._bounded = bool(max_entries_per_user or max_bytes)
+        self.max_entries_total = max_entries_total
+        self.adaptive = adaptive
+        self.min_entries_per_user = min_entries_per_user
+        self.hit_mass_window = hit_mass_window
+        self._bounded = bool(max_entries_per_user or max_bytes or max_entries_total)
         #: naive mode: one flat (user, exact_key) table
         self._entries: Dict[Tuple[str, str], CacheEntry] = {}
         #: indexed mode: user -> {exact_key -> entry}; dict insertion
@@ -94,6 +124,17 @@ class PrefetchCache:
         self.lru_evictions = 0
         self.wheel_purged = 0
         self.stored = 0
+        #: entries that left the cache (evicted or expired) having
+        #: never served a hit — the prefetch-waste signal
+        self.wasted = 0
+        self.wasted_by_site: Dict[str, int] = {}
+        #: rotating per-user hit-count windows (adaptive budgets): two
+        #: epochs of ``hit_mass_window`` seconds; mass = cur + prev
+        self._mass_epoch = 0
+        self._mass_cur: Dict[str, int] = {}
+        self._mass_prev: Dict[str, int] = {}
+        self._mass_cur_total = 0
+        self._mass_prev_total = 0
         self._stats_listeners: List[Callable[[str], None]] = []
 
     # ------------------------------------------------------------------
@@ -145,6 +186,21 @@ class PrefetchCache:
                 # shard dict order is per-user LRU order
                 oldest = next(iter(shard))
                 self._evict(user, oldest, shard[oldest])
+        if self.adaptive:
+            shard = self._shards.get(user)
+            allowance = self._allowance(user)
+            while shard and len(shard) > allowance:
+                oldest = next(iter(shard))
+                self._evict(user, oldest, shard[oldest])
+        if self.max_entries_total is not None:
+            while self._count > self.max_entries_total and self._lru:
+                victim_user, victim_key = next(iter(self._lru))
+                shard = self._shards.get(victim_user, {})
+                entry = shard.get(victim_key)
+                if entry is None:  # stale LRU slot
+                    del self._lru[(victim_user, victim_key)]
+                    continue
+                self._evict(victim_user, victim_key, entry)
         if self.max_bytes is not None:
             while self.total_bytes > self.max_bytes and self._lru:
                 victim_user, victim_key = next(iter(self._lru))
@@ -155,6 +211,56 @@ class PrefetchCache:
                     continue
                 self._evict(victim_user, victim_key, entry)
 
+    # -- adaptive budget apportionment ---------------------------------
+    def _note_user_hit(self, user: str, now: float) -> None:
+        epoch = int(now // self.hit_mass_window)
+        if epoch != self._mass_epoch:
+            if epoch == self._mass_epoch + 1:
+                self._mass_prev = self._mass_cur
+                self._mass_prev_total = self._mass_cur_total
+            else:  # clock jumped: both windows are stale
+                self._mass_prev = {}
+                self._mass_prev_total = 0
+            self._mass_cur = {}
+            self._mass_cur_total = 0
+            self._mass_epoch = epoch
+        self._mass_cur[user] = self._mass_cur.get(user, 0) + 1
+        self._mass_cur_total += 1
+
+    def hit_mass(self, user: str) -> int:
+        """Hits ``user`` scored in the last two mass windows."""
+        return self._mass_cur.get(user, 0) + self._mass_prev.get(user, 0)
+
+    def _allowance(self, user: str) -> int:
+        """This user's current entry allowance under the global budget.
+
+        Half the budget splits equally across active shards; the other
+        half follows recent hit mass (all-equal before any hits), with
+        ``min_entries_per_user`` as a bootstrap floor.
+        """
+        active = max(1, len(self._shards))
+        equal_share = self.max_entries_total / (2.0 * active)
+        total_mass = self._mass_cur_total + self._mass_prev_total
+        if total_mass > 0:
+            mass_share = (
+                self.max_entries_total * 0.5 * self.hit_mass(user) / total_mass
+            )
+        else:
+            mass_share = equal_share
+        return max(self.min_entries_per_user, int(equal_share + mass_share))
+
+    def _note_wasted(self, entry: CacheEntry) -> None:
+        """Count an entry leaving the cache without ever serving a hit."""
+        if entry.served:
+            return
+        self.wasted += 1
+        self.wasted_by_site[entry.site] = self.wasted_by_site.get(entry.site, 0) + 1
+        if PERF.enabled:
+            PERF.incr("prefetch.wasted")
+            PERF.registry.inc(
+                "prefetch_wasted", labels={"signature": entry.site}
+            )
+
     def _evict(self, user: str, exact: str, entry: CacheEntry) -> None:
         shard = self._shards.get(user)
         if shard is not None and shard.pop(exact, None) is not None:
@@ -164,6 +270,7 @@ class PrefetchCache:
         self.total_bytes -= entry.size_bytes
         self._lru.pop((user, exact), None)
         self.lru_evictions += 1
+        self._note_wasted(entry)
         if PERF.enabled:
             PERF.incr("cache.lru_evictions")
 
@@ -182,8 +289,11 @@ class PrefetchCache:
             if self._bounded:
                 self.total_bytes -= entry.size_bytes
                 self._lru.pop((user, exact), None)
+            self._note_wasted(entry)
         else:
-            self._entries.pop((user, exact), None)
+            entry = self._entries.pop((user, exact), None)
+            if entry is not None:
+                self._note_wasted(entry)
 
     # ------------------------------------------------------------------
     def _lookup(self, user: str, exact: str) -> Optional[CacheEntry]:
@@ -222,6 +332,8 @@ class PrefetchCache:
             shard[exact] = entry
             del self._lru[(user, exact)]
             self._lru[(user, exact)] = None
+        if self.adaptive:
+            self._note_user_hit(user, now)
         if PERF.enabled:
             PERF.incr("cache.lookup_hits")
         return entry, "hit"
@@ -232,6 +344,8 @@ class PrefetchCache:
 
     def record_hit(self, site: str) -> None:
         self.hits[site] = self.hits.get(site, 0) + 1
+        if PERF.enabled:
+            PERF.registry.inc("prefetch_hits", labels={"signature": site})
         for listener in self._stats_listeners:
             listener(site)
 
@@ -263,7 +377,7 @@ class PrefetchCache:
         if not self.indexed:
             stale = [key for key, entry in self._entries.items() if entry.expired(now)]
             for key in stale:
-                del self._entries[key]
+                self._note_wasted(self._entries.pop(key))
             self.expired_evictions += len(stale)
             return len(stale)
         purged = 0

@@ -16,6 +16,12 @@ from repro.analysis.model import AnalysisResult
 
 DEFAULT_EXPIRATION = 600.0  # seconds
 DEFAULT_CHAIN_DEPTH = 2
+#: observed-hit-probability admission defaults (§4.4 extension): a
+#: signature needs this many completed prefetches before its observed
+#: hit probability is trusted, and a below-threshold signature is
+#: still re-tried with this probability so it can recover
+DEFAULT_ADMISSION_MIN_ISSUED = 20
+DEFAULT_ADMISSION_EXPLORE = 0.1
 
 _OPS = {
     "gt": lambda a, b: _as_number(a) > _as_number(b),
@@ -70,11 +76,14 @@ class SignaturePolicy:
         condition: Optional[Condition] = None,
         disabled_reason: str = "",
         popularity_top_k: Optional[int] = None,
+        min_hit_probability: Optional[float] = None,
     ) -> None:
         if not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be in [0, 1]")
         if popularity_top_k is not None and popularity_top_k < 1:
             raise ValueError("popularity_top_k must be >= 1")
+        if min_hit_probability is not None and not 0.0 <= min_hit_probability <= 1.0:
+            raise ValueError("min_hit_probability must be in [0, 1]")
         self.hash = hash
         self.uri = uri
         self.expiration_time = expiration_time
@@ -86,6 +95,9 @@ class SignaturePolicy:
         #: §6.3 extension: restrict prefetching to the K most popular
         #: items of this signature (None = no restriction)
         self.popularity_top_k = popularity_top_k
+        #: observed-hit-probability admission floor for this signature;
+        #: ``None`` defers to the config-level ``admission_threshold``
+        self.min_hit_probability = min_hit_probability
 
     def to_dict(self) -> Dict:
         data: Dict = {
@@ -103,6 +115,8 @@ class SignaturePolicy:
             data["disabled_reason"] = self.disabled_reason
         if self.popularity_top_k is not None:
             data["popularity_top_k"] = self.popularity_top_k
+        if self.min_hit_probability is not None:
+            data["min_hit_probability"] = self.min_hit_probability
         return data
 
     @classmethod
@@ -120,6 +134,7 @@ class SignaturePolicy:
             condition=condition,
             disabled_reason=data.get("disabled_reason", ""),
             popularity_top_k=data.get("popularity_top_k"),
+            min_hit_probability=data.get("min_hit_probability"),
         )
 
 
@@ -133,13 +148,27 @@ class ProxyConfig:
         data_budget_bytes: Optional[int] = None,
         max_chain_depth: int = DEFAULT_CHAIN_DEPTH,
         default_expiration: float = DEFAULT_EXPIRATION,
+        admission_threshold: Optional[float] = None,
+        admission_min_issued: int = DEFAULT_ADMISSION_MIN_ISSUED,
+        admission_explore: float = DEFAULT_ADMISSION_EXPLORE,
     ) -> None:
+        if admission_threshold is not None and not 0.0 <= admission_threshold <= 1.0:
+            raise ValueError("admission_threshold must be in [0, 1]")
+        if not 0.0 <= admission_explore <= 1.0:
+            raise ValueError("admission_explore must be in [0, 1]")
         #: keyed by signature *site* (the stable analysis-time id)
         self.policies: Dict[str, SignaturePolicy] = dict(policies or {})
         self.global_probability = global_probability
         self.data_budget_bytes = data_budget_bytes
         self.max_chain_depth = max_chain_depth
         self.default_expiration = default_expiration
+        #: observed-hit-probability admission: signatures whose measured
+        #: hits/issued falls below this are no longer prefetched (None
+        #: disables the gate); per-policy ``min_hit_probability``
+        #: overrides it for one signature
+        self.admission_threshold = admission_threshold
+        self.admission_min_issued = admission_min_issued
+        self.admission_explore = admission_explore
 
     def policy(self, site: str) -> SignaturePolicy:
         if site not in self.policies:
@@ -156,6 +185,11 @@ class ProxyConfig:
     def effective_probability(self, site: str) -> float:
         return self.policy(site).probability * self.global_probability
 
+    def admission_threshold_for(self, site: str) -> Optional[float]:
+        """The hit-probability floor governing ``site`` (None = no gate)."""
+        override = self.policy(site).min_hit_probability
+        return override if override is not None else self.admission_threshold
+
     # -- (de)serialization -------------------------------------------------
     def to_json(self) -> str:
         return json.dumps(
@@ -164,6 +198,9 @@ class ProxyConfig:
                 "data_budget_bytes": self.data_budget_bytes,
                 "max_chain_depth": self.max_chain_depth,
                 "default_expiration": self.default_expiration,
+                "admission_threshold": self.admission_threshold,
+                "admission_min_issued": self.admission_min_issued,
+                "admission_explore": self.admission_explore,
                 "policies": {
                     site: policy.to_dict() for site, policy in self.policies.items()
                 },
@@ -184,6 +221,13 @@ class ProxyConfig:
             data_budget_bytes=data.get("data_budget_bytes"),
             max_chain_depth=int(data.get("max_chain_depth", DEFAULT_CHAIN_DEPTH)),
             default_expiration=float(data.get("default_expiration", DEFAULT_EXPIRATION)),
+            admission_threshold=data.get("admission_threshold"),
+            admission_min_issued=int(
+                data.get("admission_min_issued", DEFAULT_ADMISSION_MIN_ISSUED)
+            ),
+            admission_explore=float(
+                data.get("admission_explore", DEFAULT_ADMISSION_EXPLORE)
+            ),
         )
 
 

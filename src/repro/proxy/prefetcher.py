@@ -144,10 +144,14 @@ class Prefetcher:
             cache.add_stats_listener(self._bump_epoch)
         self.prefetch_bytes = 0
         self.issued = 0
+        self.issued_by_site: Dict[str, int] = {}
         self.success_by_site: Dict[str, int] = {}
         self.error_by_site: Dict[str, int] = {}
         #: one example request per site (verification probes reuse them)
         self.sample_requests: Dict[str, Request] = {}
+        #: optional §4.3 online TTL learner (see proxy/expiration.py);
+        #: when set, stores use its learned per-signature TTLs
+        self.expiration = None
         self.skipped_policy = 0
         self.skipped_probability = 0
         self.skipped_budget = 0
@@ -155,6 +159,7 @@ class Prefetcher:
         self.skipped_duplicate = 0
         self.skipped_condition = 0
         self.skipped_popularity = 0
+        self.skipped_admission = 0
         self.errors = 0
 
     # ------------------------------------------------------------------
@@ -204,6 +209,9 @@ class Prefetcher:
         ):
             self.skipped_popularity += 1
             return "skipped_popularity"
+        if not self._admitted(site):
+            self.skipped_admission += 1
+            return "skipped_admission"
         probability = self.config.effective_probability(site)
         if probability < 1.0 and self.rng.random() >= probability:
             self.skipped_probability += 1
@@ -234,6 +242,37 @@ class Prefetcher:
         if PERF.enabled:
             PERF.peak("prefetch.queue_peak", self.waiting)
         return "queued"
+
+    def _admitted(self, site: str) -> bool:
+        """Hit-rate-aware admission: does ``site`` still earn prefetches?
+
+        Observed hit probability is cache hits over prefetches issued
+        for the signature.  Below the governing threshold
+        (per-policy ``min_hit_probability`` or the config-wide
+        ``admission_threshold``) the signature stops prefetching —
+        except for an ``admission_explore`` fraction kept flowing so a
+        recovered signature can re-earn admission.  Signatures with
+        fewer than ``admission_min_issued`` completed prefetches are
+        always admitted (no evidence yet).
+        """
+        threshold = self.config.admission_threshold_for(site)
+        if threshold is None or threshold <= 0.0:
+            return True
+        issued = self.issued_by_site.get(site, 0)
+        if issued < self.config.admission_min_issued:
+            return True
+        observed = self.cache.hits.get(site, 0) / issued
+        if observed >= threshold:
+            return True
+        return self.rng.random() < self.config.admission_explore
+
+    def ttl_for(self, site: str, response: Optional[Response] = None) -> float:
+        """TTL for storing a ``site`` response: learned, else configured."""
+        if self.expiration is not None:
+            learned = self.expiration.ttl_for(site, response)
+            if learned is not None:
+                return learned
+        return self.config.policy(site).expiration_time
 
     def _priority(self, site: str) -> float:
         if not self._priority_enabled:
@@ -307,8 +346,10 @@ class Prefetcher:
                 trace.end_span(span, bytes=transferred, signature=site)
             self.prefetch_bytes += transferred
             self.issued += 1
+            self.issued_by_site[site] = self.issued_by_site.get(site, 0) + 1
             if PERF.enabled:
                 PERF.incr("prefetch.issued")
+                PERF.registry.inc("prefetch_issued", labels={"signature": site})
             elapsed = self.sim.now - started_at
             self._record_response_time(site, elapsed)
             if site not in self.sample_requests:
@@ -322,7 +363,7 @@ class Prefetcher:
                     response,
                     site,
                     now=self.sim.now,
-                    ttl=policy.expiration_time,
+                    ttl=self.ttl_for(site, response),
                 )
                 if span is not None:
                     trace.end_span(span, signature=site)
@@ -437,4 +478,5 @@ class Prefetcher:
             "skipped_duplicate": self.skipped_duplicate,
             "skipped_condition": self.skipped_condition,
             "skipped_popularity": self.skipped_popularity,
+            "skipped_admission": self.skipped_admission,
         }

@@ -42,6 +42,7 @@ class AccelerationProxy:
         learner: Optional[DynamicLearner] = None,
         seed: int = 0,
         cache: Optional[PrefetchCache] = None,
+        expiration=None,
     ) -> None:
         self.sim = sim
         self.origins = origins
@@ -57,6 +58,9 @@ class AccelerationProxy:
         self.prefetcher = Prefetcher(
             sim, origins, self.cache, self.config, self.learner, seed=seed
         )
+        #: optional §4.3 online ExpirationEstimator; stores then use its
+        #: learned per-signature TTLs instead of the configured default
+        self.prefetcher.expiration = expiration
         self.served_prefetched = 0
         self.forwarded = 0
         self.client_bytes = 0

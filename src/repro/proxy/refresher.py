@@ -103,11 +103,10 @@ class Refresher:
             trace.end_span(span, bytes=transferred, signature=site)
         self.proxy.prefetcher.prefetch_bytes += transferred
         if response.ok:
-            policy = self.proxy.config.policy(site)
             span = trace.start_span("store") if trace is not None else None
             self.proxy.cache.put(
                 user, request, response, site,
-                now=sim.now, ttl=policy.expiration_time,
+                now=sim.now, ttl=self.proxy.prefetcher.ttl_for(site, response),
             )
             if span is not None:
                 trace.end_span(span, signature=site)

@@ -182,3 +182,90 @@ def test_cache_rejects_stale_format_version(tmp_path):
     payload["format"] = -1
     open(path, "w").write(json.dumps(payload))
     assert cache.load("wish", key) is None
+
+
+# ======================================================================
+# break-even projection + warm shared pool
+# ======================================================================
+def test_should_parallelize_cheap_cells_stay_serial():
+    # 10 cells at 1ms each: serial 10ms, pool spawn alone costs 300ms
+    assert not parallel.should_parallelize(
+        0.001, 10, workers=4, spawn_cost_s=parallel.DEFAULT_SPAWN_COST_S
+    )
+
+
+def test_should_parallelize_expensive_cells_fan_out():
+    # 8 cells at 2s each over 4 workers: 16s serial vs ~4.3s projected
+    assert parallel.should_parallelize(
+        2.0, 8, workers=4, spawn_cost_s=parallel.DEFAULT_SPAWN_COST_S
+    )
+
+
+def test_should_parallelize_single_worker_never_pays():
+    assert not parallel.should_parallelize(
+        10.0, 100, workers=1, spawn_cost_s=0.0
+    )
+
+
+def test_should_parallelize_warm_pool_lowers_break_even():
+    # borderline cells the cold pool loses on but the warm pool wins
+    # (serial 0.30s vs cold ~0.41s vs warm ~0.11s)
+    cost, cells, workers = 0.05, 6, 3
+    assert not parallel.should_parallelize(
+        cost, cells, workers, spawn_cost_s=parallel.DEFAULT_SPAWN_COST_S
+    )
+    assert parallel.should_parallelize(cost, cells, workers, spawn_cost_s=0.0)
+
+
+def test_effective_workers_capped_by_cores_and_cells():
+    import os
+
+    cores = os.cpu_count() or 1
+    assert parallel.effective_workers(jobs=64, cells=2) == min(2, cores)
+    assert parallel.effective_workers(jobs=1, cells=100) == 1
+    assert parallel.effective_workers(jobs=64, cells=100) == min(64, cores)
+
+
+def test_break_even_fallback_is_byte_identical_and_counted():
+    from repro.metrics.perf import PERF
+
+    apps = ["wish", "geek"]
+    serial = runner.fig13_main_interaction(runs=2, apps=apps)
+    with PERF.capture() as perf:
+        decided = parallel.run_figure(
+            "fig13", jobs=8, params={"apps": apps, "runs": 2}
+        )
+        snapshot = perf.snapshot()
+    assert rows_json(decided) == rows_json(serial)
+    # cheap two-cell sweep on this box: the projection keeps it serial
+    # (on a many-core box with slow cells it may legitimately fan out)
+    counters = snapshot["counters"]
+    assert (
+        counters.get("experiments.fallback_serial", 0)
+        + counters.get("experiments.parallel_cells", 0)
+    ) > 0
+
+
+def test_forced_pool_rows_byte_identical_and_pool_reused():
+    from repro.metrics.perf import PERF
+
+    apps = ["wish", "geek"]
+    serial = runner.fig13_main_interaction(runs=2, apps=apps)
+    try:
+        pooled = parallel.run_figure(
+            "fig13", jobs=2, params={"apps": apps, "runs": 2},
+            force_parallel=True,
+        )
+        assert rows_json(pooled) == rows_json(serial)
+        assert parallel._SHARED_POOL is not None
+        with PERF.capture() as perf:
+            again = parallel.run_figure(
+                "fig13", jobs=2, params={"apps": apps, "runs": 2},
+                force_parallel=True,
+            )
+            snapshot = perf.snapshot()
+        assert rows_json(again) == rows_json(serial)
+        assert snapshot["counters"].get("experiments.pool_reuse", 0) >= 1
+    finally:
+        parallel.shutdown_shared_pool()
+    assert parallel._SHARED_POOL is None

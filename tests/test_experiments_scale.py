@@ -79,3 +79,103 @@ def test_cli_scale_smoke(tmp_path, capsys):
 def test_cli_scale_validates_arguments(capsys):
     assert main(["scale", "--users", "0"]) == 2
     assert main(["scale", "--users", "5", "--duration", "0"]) == 2
+
+
+# ======================================================================
+# strategy plumbing: appx vs history vs none on one workload
+# ======================================================================
+def test_run_scale_rejects_unknown_strategy():
+    with pytest.raises(ValueError):
+        run_scale(users=2, duration=1.0, strategy="bogus")
+
+
+def test_strategy_none_issues_no_prefetches():
+    row = run_scale(
+        users=4, duration=5.0, rate_per_user=1.0, seed=3,
+        apps=("wish",), strategy="none",
+    )
+    assert row["prefetch_issued"] == 0
+    assert row["hit_rate"] == 0.0
+
+
+def test_appx_strategy_beats_no_prefetch_on_the_same_workload():
+    kwargs = dict(
+        users=6, duration=10.0, rate_per_user=1.0, seed=3, apps=("wish",),
+        warm_start=True,
+    )
+    baseline = run_scale(strategy="none", **kwargs)
+    accelerated = run_scale(strategy="appx", **kwargs)
+    # identical seeded workload: same arrivals, same session steps
+    assert accelerated["requests"] == baseline["requests"]
+    # session-consistent replay makes prefetched entries actually hit
+    assert accelerated["hit_rate"] > 0.2
+    assert accelerated["latency_p50_ms"] < baseline["latency_p50_ms"]
+
+
+def test_admission_threshold_cuts_prefetch_volume():
+    kwargs = dict(
+        users=6, duration=10.0, rate_per_user=1.0, seed=3, apps=("wish",),
+        warm_start=True,
+    )
+    open_gate = run_scale(strategy="appx", **kwargs)
+    gated = run_scale(strategy="appx", admission_threshold=0.2, **kwargs)
+    assert gated["skipped_admission"] > 0
+    assert gated["prefetch_issued"] < open_gate["prefetch_issued"]
+
+
+def test_run_strategy_comparison_reports_deltas():
+    from repro.experiments.scale import (
+        format_strategy_table,
+        run_strategy_comparison,
+    )
+
+    comparison = run_strategy_comparison(
+        users=6, duration=10.0, rate_per_user=1.0, seed=3, apps=("wish",),
+        strategies=("none", "appx"),
+    )
+    assert set(comparison["rows"]) == {"none", "appx"}
+    derived = comparison["derived"]["appx"]
+    assert derived["p50_delta_ms"] < 0
+    assert derived["p50_speedup"] > 1.0
+    assert derived["hit_rate"] > 0.2
+    table = format_strategy_table(comparison)
+    assert "appx" in table and "none" in table and "speedup" in table
+
+
+def test_run_scale_adaptive_budget_and_estimator_row_fields():
+    row = run_scale(
+        users=4, duration=8.0, rate_per_user=1.0, seed=3, apps=("wish",),
+        strategy="appx", max_entries_total=64, adaptive_budget=True,
+        estimate_expiration=True, warm_start=True,
+    )
+    assert row["max_entries_total"] == 64
+    assert row["adaptive_budget"] is True
+    assert row["expiration"] is not None
+    assert row["expiration"]["sites"] > 0
+    assert row["prefetch_by_signature"]
+
+
+def test_cli_scale_compare_strategies_smoke(tmp_path, capsys):
+    output = tmp_path / "compare.json"
+    code = main(
+        [
+            "scale",
+            "--users", "4",
+            "--duration", "5",
+            "--rate", "1.0",
+            "--apps", "wish",
+            "--compare-strategies",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "strategy comparison" in printed
+    written = json.loads(output.read_text())
+    assert set(written["rows"]) == {"none", "history", "appx"}
+
+
+def test_cli_scale_validates_new_arguments(capsys):
+    assert main(["scale", "--users", "4", "--admission-threshold", "1.5"]) == 2
+    assert main(["scale", "--users", "4", "--adaptive-budget"]) == 2
+    capsys.readouterr()

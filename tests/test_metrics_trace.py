@@ -267,7 +267,9 @@ def test_validate_record_flags_schema_violations():
     assert any("spans[2].tags.outcome" in e for e in errors)
     assert validate_record({"trace_id": "t", "user": "u", "kind": "bogus",
                             "spans": []}) == [
-        "kind: 'bogus' not in {}".format(("request", "prefetch", "refresh"))
+        "kind: 'bogus' not in {}".format(
+            ("request", "prefetch", "refresh", "summary")
+        )
     ]
 
 

@@ -1,0 +1,284 @@
+"""Tests for the prefetch-efficacy machinery: hit-aware admission,
+the wasted-prefetch counter, adaptive per-user budgets, and the
+history-based baseline strategy.
+"""
+
+import random
+
+import pytest
+
+from repro.httpmsg.body import JsonBody
+from repro.httpmsg.message import Request, Response
+from repro.httpmsg.uri import Uri
+from repro.netsim.link import Link
+from repro.netsim.sim import Delay, Simulator
+from repro.netsim.transport import OriginMap
+from repro.proxy.cache import PrefetchCache
+from repro.proxy.config import ProxyConfig
+from repro.proxy.history import HistoryPrefetcher
+from repro.proxy.prefetcher import Prefetcher
+from repro.server.origin import OriginServer
+
+SITE = "Feed.load#1"
+
+
+def make_request(path):
+    return Request("GET", Uri.parse("https://eff.example" + path))
+
+
+def make_response(payload):
+    return Response(200, body=JsonBody(payload))
+
+
+# ----------------------------------------------------------------------
+# hit-aware admission (§4.4 threshold on *observed* hit probability)
+# ----------------------------------------------------------------------
+def build_prefetcher(threshold=0.3, min_issued=5, explore=0.0):
+    sim = Simulator()
+    config = ProxyConfig(
+        admission_threshold=threshold,
+        admission_min_issued=min_issued,
+        admission_explore=explore,
+    )
+    cache = PrefetchCache()
+    prefetcher = Prefetcher(sim, OriginMap(), cache, config, learner=None)
+    return prefetcher, cache
+
+
+def test_admission_allows_during_warmup():
+    prefetcher, _ = build_prefetcher(min_issued=5)
+    prefetcher.issued_by_site[SITE] = 4  # below warmup
+    assert prefetcher._admitted(SITE)
+
+
+def test_admission_blocks_cold_signatures():
+    prefetcher, cache = build_prefetcher(threshold=0.3, explore=0.0)
+    prefetcher.issued_by_site[SITE] = 10
+    cache.hits[SITE] = 1  # observed probability 0.1 < 0.3
+    assert not prefetcher._admitted(SITE)
+
+
+def test_admission_passes_hot_signatures():
+    prefetcher, cache = build_prefetcher(threshold=0.3)
+    prefetcher.issued_by_site[SITE] = 10
+    cache.hits[SITE] = 4  # 0.4 >= 0.3
+    assert prefetcher._admitted(SITE)
+
+
+def test_admission_explores_blocked_signatures():
+    prefetcher, cache = build_prefetcher(threshold=0.3, explore=0.5)
+    prefetcher.rng = random.Random(7)
+    prefetcher.issued_by_site[SITE] = 100
+    cache.hits[SITE] = 0
+    admitted = sum(prefetcher._admitted(SITE) for _ in range(400))
+    # the explore coin re-admits roughly its configured fraction
+    assert 120 < admitted < 280
+
+
+def test_admission_per_signature_override_beats_global():
+    prefetcher, cache = build_prefetcher(threshold=0.9, explore=0.0)
+    prefetcher.config.policy(SITE).min_hit_probability = 0.05
+    prefetcher.issued_by_site[SITE] = 10
+    cache.hits[SITE] = 1  # 0.1 >= the per-policy 0.05, < the global 0.9
+    assert prefetcher._admitted(SITE)
+
+
+def test_admission_disabled_when_no_threshold():
+    prefetcher, cache = build_prefetcher(threshold=None)
+    prefetcher.issued_by_site[SITE] = 1000
+    cache.hits[SITE] = 0
+    assert prefetcher._admitted(SITE)
+
+
+# ----------------------------------------------------------------------
+# wasted-prefetch accounting
+# ----------------------------------------------------------------------
+def test_lru_eviction_of_unserved_entry_counts_as_wasted():
+    cache = PrefetchCache(max_entries_per_user=1)
+    a, b = make_request("/a"), make_request("/b")
+    cache.put("u0", a, make_response({"k": 1}), SITE, now=0.0, ttl=60.0)
+    cache.put("u0", b, make_response({"k": 2}), SITE, now=1.0, ttl=60.0)
+    assert cache.wasted == 1
+    assert cache.wasted_by_site[SITE] == 1
+
+
+def test_served_entry_is_not_wasted():
+    cache = PrefetchCache(max_entries_per_user=1)
+    a, b = make_request("/a"), make_request("/b")
+    cache.put("u0", a, make_response({"k": 1}), SITE, now=0.0, ttl=60.0)
+    entry = cache.get("u0", a, 0.5)
+    entry.served = True
+    cache.put("u0", b, make_response({"k": 2}), SITE, now=1.0, ttl=60.0)
+    assert cache.wasted == 0
+
+
+def test_expired_unserved_entry_counts_as_wasted():
+    cache = PrefetchCache()
+    cache.put(
+        "u0", make_request("/a"), make_response({"k": 1}), SITE,
+        now=0.0, ttl=5.0,
+    )
+    cache.purge_expired(10.0)
+    assert cache.wasted == 1
+
+
+def test_naive_cache_counts_wasted_identically():
+    indexed = PrefetchCache()
+    naive = PrefetchCache(indexed=False)
+    for cache in (indexed, naive):
+        cache.put(
+            "u0", make_request("/a"), make_response({"k": 1}), SITE,
+            now=0.0, ttl=5.0,
+        )
+        cache.purge_expired(10.0)
+    assert naive.wasted == indexed.wasted == 1
+
+
+# ----------------------------------------------------------------------
+# adaptive per-user budgets
+# ----------------------------------------------------------------------
+def test_adaptive_requires_total_budget():
+    with pytest.raises(ValueError):
+        PrefetchCache(adaptive=True)
+
+
+def test_hit_mass_rotates_by_window():
+    cache = PrefetchCache(
+        max_entries_total=16, adaptive=True, hit_mass_window=10.0
+    )
+    cache._note_user_hit("u0", 1.0)
+    cache._note_user_hit("u0", 2.0)
+    assert cache.hit_mass("u0") == 2
+    # one window later the mass survives (cur + prev)...
+    cache._note_user_hit("u0", 11.0)
+    assert cache.hit_mass("u0") == 3
+    # ...but two quiet windows later it is gone
+    cache._note_user_hit("u1", 35.0)
+    assert cache.hit_mass("u0") == 0
+
+
+def test_active_users_get_larger_allowance():
+    cache = PrefetchCache(
+        max_entries_total=40, adaptive=True, min_entries_per_user=2
+    )
+    for user in ("u0", "u1"):
+        cache.put(
+            user, make_request("/seed-" + user), make_response({"u": user}),
+            SITE, now=0.0, ttl=600.0,
+        )
+    for _ in range(8):
+        cache._note_user_hit("u0", 1.0)
+    assert cache._allowance("u0") > cache._allowance("u1")
+    assert cache._allowance("u1") >= 2  # the floor
+
+
+def test_adaptive_budget_evicts_cold_users_first():
+    cache = PrefetchCache(
+        max_entries_total=10, adaptive=True, min_entries_per_user=2
+    )
+    # u0 earns hit mass; u1 is cold
+    for index in range(5):
+        cache.put(
+            "u0", make_request("/hot-{}".format(index)),
+            make_response({"i": index}), SITE, now=0.0, ttl=600.0,
+        )
+        cache._note_user_hit("u0", 0.5)
+    for index in range(8):
+        cache.put(
+            "u1", make_request("/cold-{}".format(index)),
+            make_response({"i": index}), SITE, now=1.0, ttl=600.0,
+        )
+    hot = len(cache.entries_for_user("u0"))
+    cold = len(cache.entries_for_user("u1"))
+    assert hot + cold <= 10
+    assert cold <= cache._allowance("u1")
+    assert hot >= cache._allowance("u1")
+
+
+def test_total_budget_is_enforced_without_adaptive():
+    cache = PrefetchCache(max_entries_total=4)
+    for index in range(10):
+        cache.put(
+            "u{}".format(index % 3), make_request("/e{}".format(index)),
+            make_response({"i": index}), SITE, now=float(index), ttl=600.0,
+        )
+    assert len(cache) <= 4
+    assert cache.lru_evictions >= 6
+
+
+# ----------------------------------------------------------------------
+# history-based baseline
+# ----------------------------------------------------------------------
+def build_history():
+    sim = Simulator()
+    server = OriginServer(sim, "https://eff.example")
+
+    def echo(server, request, user):
+        return Response(200, body=JsonBody({"path": request.uri.path}))
+
+    server.route("GET", "/a", echo, name="a")
+    server.route("GET", "/b", echo, name="b")
+    origins = OriginMap()
+    origins.register("https://eff.example", server, Link(rtt=0.02))
+    cache = PrefetchCache()
+    history = HistoryPrefetcher(sim, origins, cache, ttl=600.0)
+    return sim, cache, history
+
+
+def test_history_prefetches_most_frequent_successor():
+    sim, cache, history = build_history()
+    a, b = make_request("/a"), make_request("/b")
+
+    def flow():
+        # first cycle teaches the A -> B transition
+        history.observe("u0", a, sim.now)
+        history.observe("u0", b, sim.now)
+        # second visit to A predicts B
+        started = history.observe("u0", a, sim.now)
+        assert started == 1
+        yield Delay(1.0)
+        return None
+
+    sim.run_process(flow())
+    assert history.issued == 1
+    assert cache.get("u0", b, sim.now) is not None
+
+
+def test_history_skips_fresh_duplicates():
+    sim, cache, history = build_history()
+    a, b = make_request("/a"), make_request("/b")
+
+    def flow():
+        history.observe("u0", a, sim.now)
+        history.observe("u0", b, sim.now)
+        history.observe("u0", a, sim.now)
+        yield Delay(1.0)
+        history.observe("u0", b, sim.now)
+        started = history.observe("u0", a, sim.now)
+        assert started == 0
+        yield Delay(1.0)
+        return None
+
+    sim.run_process(flow())
+    assert history.skipped_duplicate == 1
+    # B was prefetched once (after the second A); the revisit of B also
+    # predicted A from the learned B -> A transition
+    assert history.issued == 2
+
+
+def test_history_is_per_user():
+    sim, cache, history = build_history()
+    a, b = make_request("/a"), make_request("/b")
+
+    def flow():
+        history.observe("u0", a, sim.now)
+        history.observe("u0", b, sim.now)
+        # u1 visits A for the first time: no transition of their own
+        started = history.observe("u1", a, sim.now)
+        assert started == 0
+        yield Delay(1.0)
+        return None
+
+    sim.run_process(flow())
+    assert history.issued == 0
+    assert cache.get("u1", b, sim.now) is None
