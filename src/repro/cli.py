@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -226,6 +227,22 @@ def _command_scale(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.workers < 1:
+        print("scale: --workers must be >= 1", file=sys.stderr)
+        return 2
+    if args.compare_strategies and args.workers > 1:
+        print(
+            "scale: --compare-strategies cannot be combined with --workers "
+            "(the comparison is a single-process differential)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers > 1 and any(count < args.workers for count in args.users):
+        print(
+            "scale: every --users value must be >= --workers",
+            file=sys.stderr,
+        )
+        return 2
     policy_kwargs = dict(
         max_entries_per_user=args.max_entries_per_user,
         max_entries_total=args.max_entries_total,
@@ -251,20 +268,67 @@ def _command_scale(args) -> int:
                 handle.write("\n")
             print("wrote comparison to {}".format(args.output))
         return 0
-    result = run_scale_sweep(
-        args.users,
-        default_duration=args.duration,
-        apps=args.apps,
-        rate_per_user=args.rate,
-        seed=args.seed,
-        indexed_cache=not args.naive_cache,
-        lazy_drain=not args.rebuild_drain,
-        trace_path=args.trace,
-        trace_sample=args.trace_sample,
-        trace_seed=args.trace_seed,
-        strategy=args.strategy,
-        **policy_kwargs,
-    )
+    if args.workers > 1:
+        from repro.experiments.fleet import FleetWorkerError, run_fleet
+
+        rows = []
+        try:
+            for count in args.users:
+                cell_trace = args.trace
+                if args.trace is not None and len(args.users) > 1:
+                    stem, ext = os.path.splitext(args.trace)
+                    cell_trace = "{}-{}{}".format(stem, count, ext or ".jsonl")
+                rows.append(
+                    run_fleet(
+                        count,
+                        args.duration,
+                        workers=args.workers,
+                        apps=args.apps,
+                        rate_per_user=args.rate,
+                        seed=args.seed,
+                        indexed_cache=not args.naive_cache,
+                        lazy_drain=not args.rebuild_drain,
+                        trace_path=cell_trace,
+                        trace_sample=args.trace_sample,
+                        trace_seed=args.trace_seed,
+                        strategy=args.strategy,
+                        worker_timeout=args.worker_timeout,
+                        prom_path=args.prom,
+                        **policy_kwargs,
+                    )
+                )
+        except FleetWorkerError as error:
+            print("scale: {}".format(error), file=sys.stderr)
+            return 1
+        smallest, largest = rows[0], rows[-1]
+        result = {
+            "rows": rows,
+            "derived": {
+                "smallest_users": smallest["users"],
+                "largest_users": largest["users"],
+                "per_request_cost_ratio": (
+                    largest["per_request_wall_us"]
+                    / smallest["per_request_wall_us"]
+                    if smallest["per_request_wall_us"]
+                    else float("inf")
+                ),
+            },
+        }
+    else:
+        result = run_scale_sweep(
+            args.users,
+            default_duration=args.duration,
+            apps=args.apps,
+            rate_per_user=args.rate,
+            seed=args.seed,
+            indexed_cache=not args.naive_cache,
+            lazy_drain=not args.rebuild_drain,
+            trace_path=args.trace,
+            trace_sample=args.trace_sample,
+            trace_seed=args.trace_seed,
+            strategy=args.strategy,
+            **policy_kwargs,
+        )
     header = (
         "{:>8} {:>9} {:>9} {:>11} {:>9} {:>9} {:>9} {:>7} {:>9} {:>9}".format(
             "users", "requests", "wall_s", "us/request", "events/s",
@@ -296,6 +360,18 @@ def _command_scale(args) -> int:
             derived["smallest_users"],
         )
     )
+    if args.workers > 1:
+        for row in result["rows"]:
+            fleet = row["fleet"]
+            print(
+                "fleet: {} workers, shard users {}, shard requests {}, "
+                "{:.0f} requests/wall-s".format(
+                    row["workers"],
+                    fleet["shard_users"],
+                    fleet["shard_requests"],
+                    row["requests_per_wall_s"],
+                )
+            )
     tracing = args.trace is not None or args.trace_sample is not None
     if tracing:
         last = result["rows"][-1]
@@ -310,10 +386,12 @@ def _command_scale(args) -> int:
                     )
                 )
     if args.prom:
-        from repro.metrics.perf import PERF
+        if args.workers == 1:
+            from repro.metrics.perf import PERF
 
-        with open(args.prom, "w") as handle:
-            handle.write(PERF.registry.render_prometheus())
+            with open(args.prom, "w") as handle:
+                handle.write(PERF.registry.render_prometheus())
+        # workers > 1: run_fleet already wrote the folded registry
         print("wrote Prometheus metrics to {}".format(args.prom))
     if args.output:
         with open(args.output, "w") as handle:
@@ -695,6 +773,15 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument(
         "--prom", default=None, metavar="FILE",
         help="write a Prometheus text-format metrics dump after the sweep",
+    )
+    scale.add_argument(
+        "--workers", type=int, default=1,
+        help="shard users across N proxy worker processes via consistent "
+             "hashing (1 = serve in-process; default: 1)",
+    )
+    scale.add_argument(
+        "--worker-timeout", type=float, default=300.0, metavar="SECONDS",
+        help="fleet startup / serve deadline per phase (default: 300)",
     )
 
     stats = commands.add_parser(

@@ -1,0 +1,851 @@
+"""Multi-process sharded proxy fleet (``python -m repro scale --workers N``).
+
+:mod:`repro.experiments.scale` measures the serving core one process at
+a time; real deployments scale *out* — N proxy processes, each owning a
+disjoint slice of the user population.  This module is that fleet:
+
+* **Consistent-hash sharding** — users map onto workers through a
+  blake2b hash ring with virtual nodes (:class:`ConsistentHashRing`),
+  so growing the fleet from N to N+1 workers remaps only ~1/(N+1) of
+  the users instead of reshuffling everyone.  Python's builtin
+  ``hash()`` is salted per process and useless here; blake2b keys are
+  stable across processes and runs.
+
+* **One global arrival schedule, partitioned per shard** — the
+  supervisor pre-draws the full open-loop Poisson process with the run
+  seed (:func:`~repro.experiments.scale.build_arrival_schedule`), then
+  splits it by owning shard while accumulating inter-arrival deltas
+  (:func:`partition_schedule`).  Every worker replays exactly the
+  arrival instants the single-process harness would have produced:
+  sharding changes *where* a user is served, never *when*.  With
+  ``--workers 1`` the partition is the identity, which makes the fleet
+  byte-equivalent to the serial path — the differential oracle
+  ``tests/test_experiments_fleet.py`` pins.
+
+* **Batched fold-back** — each worker sends ONE message when its serve
+  phase ends: its metrics row, its full
+  :meth:`~repro.metrics.registry.MetricRegistry.snapshot`, and its
+  trace ring.  The supervisor folds the registries with
+  :meth:`~repro.metrics.registry.MetricRegistry.merge`, absorbs the
+  trace rings with :meth:`~repro.metrics.trace.Tracer.absorb`, and
+  recomputes the aggregate row with the same helpers the serial
+  harness uses — one registry snapshot out, regardless of N.
+
+* **Failure containment** — a supervisor-side monitor aborts the start
+  barrier the moment a worker dies before serving, queued error
+  payloads surface the worker's traceback, and a join deadline catches
+  hung workers; every path raises :class:`FleetWorkerError` naming the
+  failed shard's user slice instead of deadlocking the run.
+
+Workers synchronize on a barrier *after* building their deployments,
+so the measured fleet wall clock covers serving plus fold-back IPC —
+the honest denominator for the scale-out gate in
+``benchmarks/test_perf_scale.py`` (≥1.8x requests/wall-s at 4 workers).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import threading
+import time
+import traceback
+from bisect import bisect_right
+from hashlib import blake2b
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.cache import ENV_ENABLE
+from repro.experiments.parallel import init_worker_env
+from repro.experiments.scale import (
+    DEFAULT_APPS,
+    DEFAULT_RATE_PER_USER,
+    ArrivalSchedule,
+    _ScaleDeployment,
+    build_arrival_schedule,
+    miss_causes_from_counters,
+    run_scale,
+    stage_latency_from_registry,
+)
+from repro.metrics.perf import PERF
+from repro.metrics.registry import MetricRegistry
+from repro.metrics.stats import percentile
+from repro.metrics.trace import TRACER
+
+#: virtual nodes per shard on the hash ring — enough that the largest
+#: shard stays within a few percent of the mean at fleet sizes ≤ 16
+DEFAULT_REPLICAS = 64
+DEFAULT_WORKER_TIMEOUT_S = 300.0
+
+
+# ======================================================================
+# consistent-hash user sharding
+# ======================================================================
+def _hash64(key: str) -> int:
+    """Stable 64-bit hash (blake2b) — identical in every process."""
+    return int.from_bytes(blake2b(key.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class ConsistentHashRing:
+    """Classic consistent-hash ring over ``shards`` with virtual nodes.
+
+    Each shard owns ``replicas`` points on a 64-bit ring; a key belongs
+    to the shard owning the first point clockwise of the key's hash.
+    Adding one shard therefore steals roughly ``1/(N+1)`` of the keys
+    from the existing N instead of remapping everything — the property
+    ``tests/test_experiments_fleet.py`` asserts.
+    """
+
+    __slots__ = ("shards", "replicas", "_points", "_owners")
+
+    def __init__(self, shards: int, replicas: int = DEFAULT_REPLICAS) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.shards = shards
+        self.replicas = replicas
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(replicas):
+                points.append((_hash64("shard:{}:vnode:{}".format(shard, replica)), shard))
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def shard_for(self, key: str) -> int:
+        index = bisect_right(self._points, _hash64(key)) % len(self._points)
+        return self._owners[index]
+
+
+def shard_users(
+    users: int, workers: int, replicas: int = DEFAULT_REPLICAS
+) -> List[int]:
+    """``assignment[user_index] -> shard`` for the whole population."""
+    if workers == 1:
+        return [0] * users
+    ring = ConsistentHashRing(workers, replicas)
+    return [ring.shard_for("u{}".format(index)) for index in range(users)]
+
+
+def shard_seed(seed: int, shard: int) -> int:
+    """Derive a per-shard RNG stream from the run seed, stably."""
+    return _hash64("seed:{}:shard:{}".format(seed, shard))
+
+
+def partition_schedule(
+    schedule: ArrivalSchedule, assignment: Sequence[int], workers: int
+) -> List[ArrivalSchedule]:
+    """Split one global arrival schedule into per-shard schedules.
+
+    Each event's delta is re-expressed relative to the previous event
+    *of the same shard* by accumulating the deltas of events routed
+    elsewhere, so replaying a shard's schedule reproduces its users'
+    global arrival instants exactly (same left-fold float additions).
+    Each shard's terminal delta carries it to the same final instant as
+    the global schedule, keeping per-worker simulated horizons equal.
+    For one worker this is the identity partition — delta for delta the
+    input schedule, which is what makes ``--workers 1`` byte-equivalent
+    to the serial path.
+    """
+    events: List[List[Tuple[float, int, Optional[int]]]] = [[] for _ in range(workers)]
+    pending = [0.0] * workers
+    for dt, user_index, first_position in schedule.events:
+        for shard in range(workers):
+            pending[shard] = pending[shard] + dt
+        shard = assignment[user_index]
+        events[shard].append((pending[shard], user_index, first_position))
+        pending[shard] = 0.0
+    return [
+        ArrivalSchedule(
+            events[shard],
+            pending[shard] + schedule.terminal_dt,
+            schedule.users,
+            schedule.duration,
+            schedule.rate_per_user,
+            schedule.seed,
+        )
+        for shard in range(workers)
+    ]
+
+
+# ======================================================================
+# failure surface
+# ======================================================================
+class FleetWorkerError(RuntimeError):
+    """A fleet worker crashed, raised, or hung; names the failed shards."""
+
+    def __init__(self, message: str, shards: Sequence[int] = ()) -> None:
+        super().__init__(message)
+        self.shards = tuple(shards)
+
+
+def _shard_members(assignment: Sequence[int], workers: int) -> List[List[int]]:
+    members: List[List[int]] = [[] for _ in range(workers)]
+    for user_index, shard in enumerate(assignment):
+        members[shard].append(user_index)
+    return members
+
+
+def _describe_shard(shard: int, members: Sequence[int]) -> str:
+    """``shard 2 (13 users: u2,u5,u9,…)`` — the slice a failure took out."""
+    if not members:
+        return "shard {} (0 users)".format(shard)
+    shown = ",".join("u{}".format(user) for user in members[:5])
+    suffix = ",…" if len(members) > 5 else ""
+    return "shard {} ({} users: {}{})".format(shard, len(members), shown, suffix)
+
+
+# ======================================================================
+# worker process
+# ======================================================================
+def _fleet_worker(spec: Dict[str, object], barrier, results) -> None:
+    """One shard's serve loop: build, sync, serve, send ONE payload.
+
+    Any exception lands on the result queue as an ``("error", shard,
+    traceback)`` message and aborts the barrier so the supervisor wakes
+    immediately instead of sleeping out its timeout.  ``inject_failure``
+    is the robustness-test hook: ``crash`` dies silently (no message at
+    all), ``raise`` fails with a traceback, ``hang`` sleeps through the
+    supervisor's deadline.
+    """
+    shard = int(spec["shard"])
+    try:
+        failure = spec.get("inject_failure") or {}
+        mode = failure.get("mode") if failure.get("shard") == shard else None
+        if mode == "crash":
+            os._exit(3)
+        if mode == "raise":
+            raise RuntimeError("injected failure on shard {}".format(shard))
+        init_worker_env(spec.get("cache_env"))
+        deployment = _ScaleDeployment(tuple(spec["apps"]), **spec["deploy_kwargs"])
+        schedule = ArrivalSchedule(
+            spec["events"],
+            spec["terminal_dt"],
+            spec["users"],
+            spec["duration"],
+            spec["rate_per_user"],
+            spec["seed"],
+        )
+        if mode == "hang":
+            time.sleep(3600.0)
+        try:
+            barrier.wait(spec["worker_timeout"])
+        except threading.BrokenBarrierError:
+            # another worker failed (it aborted the barrier) or the
+            # supervisor timed the startup out — this worker is only a
+            # secondary victim: exit clean so diagnosis blames the
+            # shard that actually broke, not this one
+            raise SystemExit(0)
+        row = run_scale(
+            users=int(spec["users"]),
+            duration=float(spec["duration"]),
+            apps=tuple(spec["apps"]),
+            rate_per_user=float(spec["rate_per_user"]),
+            seed=int(spec["seed"]),
+            access_rtt=float(spec["access_rtt"]),
+            trace_sample=spec["trace_sample"],
+            trace_seed=int(spec["trace_seed"]),
+            trace_capacity=int(spec["trace_capacity"]),
+            estimate_expiration=bool(spec["estimate_expiration"]),
+            warm_start=bool(spec["warm_start"]),
+            arrival_schedule=schedule,
+            collect_latencies=True,
+            _deployment=deployment,
+            **spec["deploy_kwargs"],
+        )
+        payload = {
+            "row": row,
+            "registry": PERF.registry.snapshot(),
+            "trace_records": TRACER.records() if spec["trace_sample"] is not None else [],
+        }
+        results.put(("ok", shard, payload))
+    except BaseException as error:
+        if isinstance(error, SystemExit) and error.code == 0:
+            raise
+        try:
+            results.put(("error", shard, traceback.format_exc()))
+        finally:
+            try:
+                barrier.abort()
+            except Exception:
+                pass
+        raise SystemExit(1)
+
+
+# ======================================================================
+# supervisor
+# ======================================================================
+def _drain_queue(results, collected: Dict[int, Dict], errors: Dict[int, str]) -> None:
+    """Pull whatever the result queue has right now (post-failure sweep)."""
+    while True:
+        try:
+            kind, shard, payload = results.get(timeout=0.2)
+        except queue_module.Empty:
+            return
+        if kind == "ok":
+            collected[shard] = payload
+        else:
+            errors[shard] = payload
+
+
+def _raise_worker_failure(
+    errors: Dict[int, str],
+    procs: Sequence,
+    collected: Dict[int, Dict],
+    members: Sequence[Sequence[int]],
+    phase: str,
+) -> None:
+    """Turn whatever failure evidence exists into one FleetWorkerError."""
+    if errors:
+        shard = min(errors)
+        raise FleetWorkerError(
+            "fleet worker failed during {}: {} — worker traceback:\n{}".format(
+                phase, _describe_shard(shard, members[shard]), errors[shard]
+            ),
+            shards=sorted(errors),
+        )
+    crashed = [
+        shard
+        for shard, proc in enumerate(procs)
+        if shard not in collected and proc.exitcode not in (None, 0)
+    ]
+    if crashed:
+        raise FleetWorkerError(
+            "fleet worker crashed during {} (exitcode {}): {}".format(
+                phase,
+                procs[crashed[0]].exitcode,
+                "; ".join(_describe_shard(s, members[s]) for s in crashed),
+            ),
+            shards=crashed,
+        )
+    hung = [
+        shard
+        for shard, proc in enumerate(procs)
+        if shard not in collected and proc.is_alive()
+    ]
+    raise FleetWorkerError(
+        "fleet worker hung past the {} deadline: {}".format(
+            phase,
+            "; ".join(_describe_shard(s, members[s]) for s in hung) or "(unknown)",
+        ),
+        shards=hung,
+    )
+
+
+def _monitor_procs(procs, barrier, stop: threading.Event) -> None:
+    """Abort the start barrier as soon as any worker dies silently."""
+    while not stop.is_set():
+        for proc in procs:
+            if proc.exitcode not in (None, 0):
+                try:
+                    barrier.abort()
+                except Exception:
+                    pass
+                return
+        stop.wait(0.05)
+
+
+def _merge_int_tables(
+    tables: Sequence[Optional[Dict[str, Dict[str, int]]]]
+) -> Dict[str, Dict[str, int]]:
+    """Sum nested ``{key: {field: int}}`` tables across shards."""
+    merged: Dict[str, Dict[str, int]] = {}
+    for table in tables:
+        for key, cell in (table or {}).items():
+            target = merged.setdefault(key, {})
+            for field, value in cell.items():
+                target[field] = target.get(field, 0) + value
+    return merged
+
+
+def run_fleet(
+    users: int,
+    duration: float,
+    workers: int = 1,
+    apps: Sequence[str] = DEFAULT_APPS,
+    rate_per_user: float = DEFAULT_RATE_PER_USER,
+    seed: int = 0,
+    max_entries_per_user: Optional[int] = None,
+    max_bytes: Optional[int] = None,
+    indexed_cache: bool = True,
+    lazy_drain: bool = True,
+    access_rtt: float = 0.055,
+    trace_path: Optional[str] = None,
+    trace_sample: Optional[float] = None,
+    trace_seed: int = 0,
+    trace_capacity: int = 65_536,
+    strategy: str = "appx",
+    max_entries_total: Optional[int] = None,
+    adaptive_budget: bool = False,
+    admission_threshold: Optional[float] = None,
+    estimate_expiration: bool = False,
+    warm_start: bool = False,
+    replicas: int = DEFAULT_REPLICAS,
+    worker_timeout: float = DEFAULT_WORKER_TIMEOUT_S,
+    prom_path: Optional[str] = None,
+    inject_failure: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Serve one seeded scale workload across ``workers`` proxy processes.
+
+    The supervisor consistent-hashes users onto shards, pre-draws the
+    global arrival schedule with the run seed, partitions it per shard,
+    and hands each worker its slice plus its own cache budget share.
+    Workers build their deployments, meet on a barrier, serve, and send
+    one batched payload back; the supervisor folds every payload into a
+    single aggregate row whose shape matches
+    :func:`~repro.experiments.scale.run_scale` plus ``workers``,
+    ``fleet``, and ``shards`` keys.
+
+    ``workers=1`` serves inline (no subprocess) replaying the identity
+    partition — byte-equivalent to the serial harness under the same
+    seed, which the differential tests pin.  For ``workers > 1`` the
+    fleet wall clock runs from the post-barrier instant to the last
+    payload collected, so requests-per-wall-second pays for fold-back
+    IPC too.
+
+    ``worker_timeout`` bounds both the start barrier and the serve
+    phase; a worker that crashes, raises, or hangs surfaces as
+    :class:`FleetWorkerError` naming the lost shard's user slice.
+    ``inject_failure`` (``{"shard": s, "mode": "crash"|"raise"|"hang"}``)
+    exists for the robustness tests.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if users < workers:
+        raise ValueError(
+            "need at least one user per worker (users={}, workers={})".format(
+                users, workers
+            )
+        )
+    apps = tuple(apps)
+    tracing = trace_path is not None or trace_sample is not None
+    effective_sample = 1.0 if trace_sample is None else trace_sample
+
+    deploy_kwargs = {
+        "max_entries_per_user": max_entries_per_user,
+        "max_bytes": max_bytes,
+        "indexed_cache": indexed_cache,
+        "lazy_drain": lazy_drain,
+        "max_entries_total": max_entries_total,
+        "adaptive_budget": adaptive_budget,
+        "admission_threshold": admission_threshold,
+        "strategy": strategy,
+    }
+
+    # the plan deployment provides per-app step counts for the schedule
+    # draw; with one worker it also serves the workload inline
+    plan = _ScaleDeployment(apps, **deploy_kwargs)
+    step_counts = {name: len(steps) for name, steps in plan.steps.items()}
+    user_app = [apps[index % len(apps)] for index in range(users)]
+    schedule = build_arrival_schedule(
+        users,
+        duration,
+        rate_per_user,
+        seed,
+        step_counts,
+        user_app,
+        warm_start=warm_start,
+        pred_positions=plan.pred_positions,
+    )
+    assignment = shard_users(users, workers, replicas)
+    members = _shard_members(assignment, workers)
+    shard_schedules = partition_schedule(schedule, assignment, workers)
+
+    if workers == 1:
+        row = run_scale(
+            users=users,
+            duration=duration,
+            apps=apps,
+            rate_per_user=rate_per_user,
+            seed=seed,
+            access_rtt=access_rtt,
+            trace_sample=effective_sample if tracing else None,
+            trace_seed=trace_seed,
+            trace_capacity=trace_capacity,
+            estimate_expiration=estimate_expiration,
+            warm_start=warm_start,
+            arrival_schedule=shard_schedules[0],
+            collect_latencies=True,
+            _deployment=plan,
+            **deploy_kwargs,
+        )
+        payloads = {
+            0: {
+                "row": row,
+                "registry": PERF.registry.snapshot(),
+                "trace_records": TRACER.records() if tracing else [],
+            }
+        }
+        wall_s = float(row["wall_s"])
+    else:
+        payloads, wall_s = _run_worker_pool(
+            shard_schedules,
+            members,
+            users=users,
+            duration=duration,
+            workers=workers,
+            apps=apps,
+            rate_per_user=rate_per_user,
+            seed=seed,
+            access_rtt=access_rtt,
+            tracing=tracing,
+            effective_sample=effective_sample,
+            trace_seed=trace_seed,
+            trace_capacity=trace_capacity,
+            estimate_expiration=estimate_expiration,
+            warm_start=warm_start,
+            deploy_kwargs=deploy_kwargs,
+            max_entries_total=max_entries_total,
+            worker_timeout=worker_timeout,
+            inject_failure=inject_failure,
+        )
+
+    return _aggregate(
+        payloads,
+        members,
+        wall_s=wall_s,
+        users=users,
+        duration=duration,
+        workers=workers,
+        apps=apps,
+        rate_per_user=rate_per_user,
+        seed=seed,
+        replicas=replicas,
+        worker_timeout=worker_timeout,
+        tracing=tracing,
+        effective_sample=effective_sample,
+        trace_seed=trace_seed,
+        trace_capacity=trace_capacity,
+        trace_path=trace_path,
+        prom_path=prom_path,
+        deploy_kwargs=deploy_kwargs,
+        schedule_events=len(schedule),
+    )
+
+
+def _run_worker_pool(
+    shard_schedules: Sequence[ArrivalSchedule],
+    members: Sequence[Sequence[int]],
+    users: int,
+    duration: float,
+    workers: int,
+    apps: Sequence[str],
+    rate_per_user: float,
+    seed: int,
+    access_rtt: float,
+    tracing: bool,
+    effective_sample: float,
+    trace_seed: int,
+    trace_capacity: int,
+    estimate_expiration: bool,
+    warm_start: bool,
+    deploy_kwargs: Dict[str, object],
+    max_entries_total: Optional[int],
+    worker_timeout: float,
+    inject_failure: Optional[Dict[str, object]],
+) -> Tuple[Dict[int, Dict], float]:
+    """Spawn, synchronize, and collect the worker fleet (workers > 1)."""
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        context = multiprocessing.get_context()
+    results = context.Queue()
+    barrier = context.Barrier(workers + 1)
+    cache_env = os.environ.get(ENV_ENABLE) or None
+
+    specs = []
+    for shard in range(workers):
+        shard_kwargs = dict(deploy_kwargs)
+        if max_entries_total is not None:
+            # apportion the global entry budget by shard population so
+            # the fleet's total budget matches the serial run's
+            shard_kwargs["max_entries_total"] = max(
+                1, round(max_entries_total * len(members[shard]) / users)
+            )
+        specs.append(
+            {
+                "shard": shard,
+                "apps": list(apps),
+                "users": users,
+                "duration": duration,
+                "rate_per_user": rate_per_user,
+                "seed": seed,
+                "access_rtt": access_rtt,
+                "events": shard_schedules[shard].events,
+                "terminal_dt": shard_schedules[shard].terminal_dt,
+                "deploy_kwargs": shard_kwargs,
+                "trace_sample": effective_sample if tracing else None,
+                "trace_seed": shard_seed(trace_seed, shard),
+                "trace_capacity": trace_capacity,
+                "estimate_expiration": estimate_expiration,
+                "warm_start": warm_start,
+                "worker_timeout": worker_timeout,
+                "cache_env": cache_env,
+                "inject_failure": inject_failure,
+            }
+        )
+
+    procs = [
+        context.Process(
+            target=_fleet_worker, args=(spec, barrier, results), daemon=True
+        )
+        for spec in specs
+    ]
+    collected: Dict[int, Dict] = {}
+    errors: Dict[int, str] = {}
+    stop_monitor = threading.Event()
+    monitor = threading.Thread(
+        target=_monitor_procs, args=(procs, barrier, stop_monitor), daemon=True
+    )
+    try:
+        for proc in procs:
+            proc.start()
+        monitor.start()
+        try:
+            barrier.wait(worker_timeout)
+        except threading.BrokenBarrierError:
+            _drain_queue(results, collected, errors)
+            _raise_worker_failure(errors, procs, collected, members, "startup")
+        wall_started = time.perf_counter()
+        deadline = wall_started + worker_timeout
+        while len(collected) < workers:
+            try:
+                kind, shard, payload = results.get(timeout=0.25)
+            except queue_module.Empty:
+                crashed_silently = any(
+                    shard not in collected and proc.exitcode not in (None, 0)
+                    for shard, proc in enumerate(procs)
+                )
+                if crashed_silently or time.perf_counter() > deadline:
+                    _drain_queue(results, collected, errors)
+                    if len(collected) == workers:
+                        break
+                    _raise_worker_failure(
+                        errors, procs, collected, members, "serve"
+                    )
+                continue
+            if kind == "ok":
+                collected[shard] = payload
+            else:
+                errors[shard] = payload
+                _drain_queue(results, collected, errors)
+                _raise_worker_failure(errors, procs, collected, members, "serve")
+        wall_s = time.perf_counter() - wall_started
+    finally:
+        stop_monitor.set()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5.0)
+    return collected, wall_s
+
+
+def _aggregate(
+    payloads: Dict[int, Dict],
+    members: Sequence[Sequence[int]],
+    wall_s: float,
+    users: int,
+    duration: float,
+    workers: int,
+    apps: Sequence[str],
+    rate_per_user: float,
+    seed: int,
+    replicas: int,
+    worker_timeout: float,
+    tracing: bool,
+    effective_sample: float,
+    trace_seed: int,
+    trace_capacity: int,
+    trace_path: Optional[str],
+    prom_path: Optional[str],
+    deploy_kwargs: Dict[str, object],
+    schedule_events: int,
+) -> Dict[str, object]:
+    """Fold worker payloads into one run_scale-shaped aggregate row."""
+    rows = [payloads[shard]["row"] for shard in range(workers)]
+
+    merged = MetricRegistry()
+    for shard in range(workers):
+        merged.merge(payloads[shard]["registry"])
+
+    latencies: List[float] = []
+    for row in rows:
+        latencies.extend(row.get("latencies_s") or [])
+
+    def total(key: str) -> int:
+        return sum(int(row[key]) for row in rows)
+
+    requests = total("requests")
+    served = total("served_prefetched")
+    forwarded = total("forwarded")
+    answered = served + forwarded
+    sim_events = total("sim_events")
+
+    by_signature = _merge_int_tables([row["prefetch_by_signature"] for row in rows])
+
+    expiration_rows = [row["expiration"] for row in rows if row["expiration"]]
+    expiration = None
+    if expiration_rows:
+        expiration = {
+            key: sum(int(cell[key]) for cell in expiration_rows)
+            for key in ("sites", "converged", "probes_issued", "disabled")
+        }
+
+    history = None
+    if any(row["history"] for row in rows):
+        history = _merge_int_tables([row["history"] for row in rows])
+
+    trace_stats: Optional[Dict[str, object]] = None
+    if tracing:
+        shard_stats = [row["trace"] or {} for row in rows]
+        trace_stats = {
+            key: sum(int(stats.get(key, 0)) for stats in shard_stats)
+            for key in ("started", "sampled", "finished", "dropped")
+        }
+        trace_stats["sample_rate"] = effective_sample
+        trace_stats["capacity"] = trace_capacity
+        # the supervisor ring holds every worker's batch: capacity is
+        # the fleet-wide sum so absorption itself never drops records
+        TRACER.configure(
+            sample_rate=effective_sample,
+            capacity=max(1, trace_capacity * workers),
+            seed=trace_seed,
+        )
+        absorbed = 0
+        for shard in range(workers):
+            absorbed += TRACER.absorb(
+                payloads[shard]["trace_records"],
+                prefix="w{}".format(shard),
+                skip_kinds=("summary",),
+            )
+        TRACER.append_record(
+            {
+                "trace_id": "summary",
+                "user": "-",
+                "kind": "summary",
+                "spans": [],
+                "tags": {
+                    "prefetch_by_signature": by_signature,
+                    "workers": workers,
+                },
+            }
+        )
+        trace_stats["absorbed"] = absorbed
+        trace_stats["buffered"] = len(TRACER.records())
+        if trace_path is not None:
+            trace_stats["exported"] = TRACER.export_jsonl(trace_path)
+            trace_stats["path"] = trace_path
+
+    if prom_path is not None:
+        with open(prom_path, "w") as handle:
+            handle.write(merged.render_prometheus())
+
+    aggregate: Dict[str, object] = {
+        "users": users,
+        "workers": workers,
+        "apps": list(apps),
+        "duration_s": duration,
+        "rate_per_user": rate_per_user,
+        "seed": seed,
+        "requests": requests,
+        "requests_sent": total("requests_sent"),
+        "wall_s": wall_s,
+        "per_request_wall_us": (1e6 * wall_s / requests) if requests else 0.0,
+        "requests_per_wall_s": (requests / wall_s) if wall_s else 0.0,
+        "sim_events": sim_events,
+        "sim_events_per_wall_s": (sim_events / wall_s) if wall_s else 0.0,
+        "latency_p50_ms": 1000 * percentile(latencies, 50) if latencies else 0.0,
+        "latency_p95_ms": 1000 * percentile(latencies, 95) if latencies else 0.0,
+        "latency_p99_ms": 1000 * percentile(latencies, 99) if latencies else 0.0,
+        "hit_rate": (served / answered) if answered else 0.0,
+        "served_prefetched": served,
+        "forwarded": forwarded,
+        "prefetch_issued": total("prefetch_issued"),
+        # per-shard peaks are not simultaneous; their sum is the upper
+        # bound on the fleet-wide peak, matching the budget apportioning
+        "peak_cache_entries": total("peak_cache_entries"),
+        "final_cache_entries": total("final_cache_entries"),
+        "cache_stored": total("cache_stored"),
+        "cache_expired_evictions": total("cache_expired_evictions"),
+        "cache_lru_evictions": total("cache_lru_evictions"),
+        "cache_wheel_purged": total("cache_wheel_purged"),
+        "peak_rss_bytes": total("peak_rss_bytes"),
+        "indexed_cache": deploy_kwargs["indexed_cache"],
+        "lazy_drain": deploy_kwargs["lazy_drain"],
+        "max_entries_per_user": deploy_kwargs["max_entries_per_user"],
+        "max_bytes": deploy_kwargs["max_bytes"],
+        "max_entries_total": deploy_kwargs["max_entries_total"],
+        "adaptive_budget": deploy_kwargs["adaptive_budget"],
+        "admission_threshold": deploy_kwargs["admission_threshold"],
+        "strategy": deploy_kwargs["strategy"],
+        "prefetch_wasted": total("prefetch_wasted"),
+        "skipped_admission": total("skipped_admission"),
+        "prefetch_by_signature": by_signature,
+        "expiration": expiration,
+        "history": history,
+        "stage_latency_us": stage_latency_from_registry(merged),
+        "miss_causes": miss_causes_from_counters(merged.counters),
+        "trace": trace_stats,
+        "fleet": {
+            "replicas": replicas,
+            "hash": "blake2b-64",
+            "worker_timeout_s": worker_timeout,
+            "schedule_events": schedule_events,
+            "shard_users": [len(shard_members) for shard_members in members],
+            "shard_requests": [int(row["requests"]) for row in rows],
+            "shard_wall_s": [float(row["wall_s"]) for row in rows],
+            "supervisor_wall_s": wall_s,
+        },
+        "shards": [
+            {
+                "shard": shard,
+                "users": len(members[shard]),
+                "requests": int(rows[shard]["requests"]),
+                "hit_rate": float(rows[shard]["hit_rate"]),
+                "wall_s": float(rows[shard]["wall_s"]),
+                "sim_events": int(rows[shard]["sim_events"]),
+                "peak_rss_bytes": int(rows[shard]["peak_rss_bytes"]),
+            }
+            for shard in range(workers)
+        ],
+    }
+    return aggregate
+
+
+def format_fleet_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Aligned worker-count sweep table (BENCH + CI artifact)."""
+    if not rows:
+        return "(no fleet rows)"
+    first = rows[0]
+    lines = [
+        "fleet scale-out: users={} duration={}s rate={}/s apps={} seed={}".format(
+            first["users"],
+            first["duration_s"],
+            first["rate_per_user"],
+            ",".join(first["apps"]),
+            first["seed"],
+        ),
+        "{:<8} {:>9} {:>11} {:>11} {:>9} {:>8} {:>9}".format(
+            "workers", "requests", "req/wall_s", "us/request", "hit", "p50_ms",
+            "speedup",
+        ),
+    ]
+    base = None
+    for row in rows:
+        rate = float(row["requests_per_wall_s"])
+        if base is None:
+            base = rate or None
+        lines.append(
+            "{:<8} {:>9} {:>11.0f} {:>11.1f} {:>7.1f}% {:>8.1f} {:>8}".format(
+                row["workers"],
+                row["requests"],
+                rate,
+                float(row["per_request_wall_us"]),
+                100.0 * float(row["hit_rate"]),
+                float(row["latency_p50_ms"]),
+                "{:.2f}x".format(rate / base) if base else "-",
+            )
+        )
+    return "\n".join(lines)

@@ -16,7 +16,7 @@ Cells carry every seed explicitly, share no mutable state, and are
 dispatched with ``Executor.map`` (order-preserving); merging is pure.
 Workers warm their per-app artifacts from the on-disk analysis cache
 (:mod:`repro.experiments.cache`) when one is configured — the
-``_worker_init`` initializer exports it via ``REPRO_ANALYSIS_CACHE``
+``init_worker_env`` initializer exports it via ``REPRO_ANALYSIS_CACHE``
 so every ``prepare_app`` call inside the pool hits disk instead of
 re-running analysis + verification fuzzing.
 
@@ -148,12 +148,22 @@ def merge_results(figure: str, results: Sequence[Any]) -> Any:
 # ======================================================================
 # execute — the worker side
 # ======================================================================
-def _worker_init(cache_env: Optional[str]) -> None:
-    """Pool initializer: point workers at the engine's artifact cache."""
+def init_worker_env(cache_env: Optional[str]) -> None:
+    """Point a worker process at the supervisor's artifact cache.
+
+    Used as this engine's pool initializer and called directly by the
+    sharded proxy fleet's workers (:mod:`repro.experiments.fleet`), so
+    any start method — fork or spawn — sees the same
+    ``REPRO_ANALYSIS_CACHE`` configuration the parent resolved.
+    """
     if cache_env:
         os.environ[ENV_ENABLE] = cache_env
     else:
         os.environ.pop(ENV_ENABLE, None)
+
+
+#: backwards-compatible alias (this began life as the pool initializer)
+_worker_init = init_worker_env
 
 
 def execute_cell(unit: WorkUnit) -> Tuple[Any, Optional[Dict[str, Any]]]:
@@ -228,7 +238,7 @@ def _shared_pool(
     shutdown_shared_pool()
     _SHARED_POOL = ProcessPoolExecutor(
         max_workers=workers,
-        initializer=_worker_init,
+        initializer=init_worker_env,
         initargs=(cache_env,),
     )
     _SHARED_POOL_CONFIG = config

@@ -281,6 +281,127 @@ def _origin_uri(origin: str):
     return Uri.parse(origin + "/")
 
 
+class ArrivalSchedule:
+    """A pre-drawn open-loop arrival process, replayable in any process.
+
+    ``events`` holds ``(dt, user_index, first_position)`` tuples: the
+    virtual delay since the *previous event in this schedule*, the
+    arriving user, and — on the user's first arrival only — the session
+    position its replay starts from (``None`` afterwards).
+    ``terminal_dt`` is the final inter-arrival draw, the one whose
+    arrival instant crossed ``duration`` and terminated the process;
+    replaying it keeps the arrivals generator alive to the same instant
+    the live path's would be, so the simulated event count matches.
+
+    The sharded fleet supervisor draws ONE global schedule with the run
+    seed, then partitions it per shard: every worker replays exactly
+    the arrival instants the single-process harness would have
+    produced, so sharding changes where a user is served, never when.
+    """
+
+    __slots__ = ("events", "terminal_dt", "users", "duration", "rate_per_user", "seed")
+
+    def __init__(
+        self,
+        events: List[Tuple[float, int, Optional[int]]],
+        terminal_dt: float,
+        users: int,
+        duration: float,
+        rate_per_user: float,
+        seed: int,
+    ) -> None:
+        self.events = events
+        self.terminal_dt = terminal_dt
+        self.users = users
+        self.duration = duration
+        self.rate_per_user = rate_per_user
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def build_arrival_schedule(
+    users: int,
+    duration: float,
+    rate_per_user: float,
+    seed: int,
+    step_counts: Dict[str, int],
+    user_app: Sequence[str],
+    warm_start: bool = False,
+    pred_positions: Optional[Dict[str, List[int]]] = None,
+) -> ArrivalSchedule:
+    """Pre-draw the Poisson arrival schedule :func:`run_scale` would draw live.
+
+    The PRNG call sequence here — ``expovariate`` per arrival,
+    ``randrange(users)`` per admitted arrival, ``randrange(steps)`` on
+    a user's first arrival — mirrors the live ``arrivals()`` generator
+    draw for draw, and arrival instants accumulate with the same
+    left-fold float additions the simulator clock performs.  A seeded
+    replay of the full schedule is therefore byte-equivalent to the
+    live path, which is what lets ``--workers 1`` serve as a
+    differential oracle for the fleet.
+    """
+    import random
+
+    rng = random.Random(seed)
+    total_rate = users * rate_per_user
+    now = 0.0
+    seen: Dict[int, bool] = {}
+    events: List[Tuple[float, int, Optional[int]]] = []
+    while True:
+        dt = rng.expovariate(total_rate)
+        now = now + dt
+        if now >= duration:
+            return ArrivalSchedule(events, dt, users, duration, rate_per_user, seed)
+        user_index = rng.randrange(users)
+        position: Optional[int] = None
+        if user_index not in seen:
+            seen[user_index] = True
+            app = user_app[user_index]
+            position = rng.randrange(step_counts[app])
+            if warm_start:
+                anchors = (pred_positions or {}).get(app) or []
+                if anchors:
+                    eligible = [p for p in anchors if p <= position]
+                    position = eligible[-1] if eligible else anchors[0]
+        events.append((dt, user_index, position))
+
+
+def stage_latency_from_registry(registry) -> Dict[str, Dict[str, float]]:
+    """Per-stage latency table out of a registry's histograms.
+
+    ``stage_seconds{stage=...}`` (fed by ``PERF.stage``) reports under
+    the bare stage name; sampled trace spans
+    (``span_wall_seconds{stage=...}``) under a ``span:`` prefix.
+    Shared by the serial harness row and the fleet supervisor, which
+    calls it on the registry folded back from every worker.
+    """
+    stage_latency: Dict[str, Dict[str, float]] = {}
+    for metric, prefix in (("stage_seconds", ""), ("span_wall_seconds", "span:")):
+        for labels, histogram in registry.series(metric):
+            if not histogram.count:
+                continue
+            stage_latency[prefix + labels.get("stage", "")] = {
+                "count": histogram.count,
+                "p50_us": 1e6 * histogram.percentile(50),
+                "p95_us": 1e6 * histogram.percentile(95),
+                "p99_us": 1e6 * histogram.percentile(99),
+                "mean_us": 1e6 * histogram.mean,
+                "total_s": histogram.sum,
+            }
+    return stage_latency
+
+
+def miss_causes_from_counters(counters: Dict[str, int]) -> Dict[str, int]:
+    """The ``cache.miss.<cause>`` counters, keyed by bare cause."""
+    return {
+        name[len("cache.miss."):]: count
+        for name, count in counters.items()
+        if name.startswith("cache.miss.")
+    }
+
+
 def run_scale(
     users: int,
     duration: float,
@@ -302,6 +423,9 @@ def run_scale(
     admission_threshold: Optional[float] = None,
     estimate_expiration: bool = False,
     warm_start: bool = False,
+    arrival_schedule: Optional[ArrivalSchedule] = None,
+    collect_latencies: bool = False,
+    _deployment: Optional[_ScaleDeployment] = None,
 ) -> Dict[str, object]:
     """Serve an open-loop Poisson workload; returns the metrics row.
 
@@ -321,6 +445,15 @@ def run_scale(
     the PERF registry, and — when ``trace_path`` is set — exports the
     buffered records as JSONL after the run.  Left off (the default),
     the serving core pays only the one-branch disabled check.
+
+    ``arrival_schedule`` replays a pre-drawn
+    :class:`ArrivalSchedule` (typically one fleet shard's partition)
+    instead of drawing arrivals live; ``_deployment`` reuses an
+    already-built :class:`_ScaleDeployment` (it must have been built
+    with the same app/cache/strategy arguments); and
+    ``collect_latencies`` attaches the raw per-request virtual
+    latencies to the row under ``"latencies_s"`` so a fleet supervisor
+    can compute exact aggregate percentiles across shards.
     """
     import random
 
@@ -328,17 +461,25 @@ def run_scale(
         raise ValueError("users must be >= 1")
     tracing = trace_path is not None or trace_sample is not None
     apps = tuple(apps)
-    deployment = _ScaleDeployment(
-        apps,
-        max_entries_per_user=max_entries_per_user,
-        max_bytes=max_bytes,
-        indexed_cache=indexed_cache,
-        lazy_drain=lazy_drain,
-        max_entries_total=max_entries_total,
-        adaptive_budget=adaptive_budget,
-        admission_threshold=admission_threshold,
-        strategy=strategy,
-    )
+    deployment = _deployment
+    if deployment is not None and deployment.strategy != strategy:
+        raise ValueError(
+            "reused deployment was built for strategy {!r}, not {!r}".format(
+                deployment.strategy, strategy
+            )
+        )
+    if deployment is None:
+        deployment = _ScaleDeployment(
+            apps,
+            max_entries_per_user=max_entries_per_user,
+            max_bytes=max_bytes,
+            indexed_cache=indexed_cache,
+            lazy_drain=lazy_drain,
+            max_entries_total=max_entries_total,
+            adaptive_budget=adaptive_budget,
+            admission_threshold=admission_threshold,
+            strategy=strategy,
+        )
     sim = deployment.sim
     multi = deployment.multi
     rng = random.Random(seed)
@@ -427,6 +568,17 @@ def run_scale(
             session.responses[step.site] = response
         return None
 
+    def arrive(user_index: int, first_position: Optional[int]) -> None:
+        steps = deployment.steps[user_app[user_index]]
+        session = sessions.get(user_index)
+        if session is None:
+            session = sessions[user_index] = _UserSession()
+            session.position = first_position
+        step = steps[session.position % len(steps)]
+        session.position += 1
+        state["sent"] += 1
+        sim.spawn(send_one(user_index, step))
+
     def arrivals() -> Generator:
         total_rate = users * rate_per_user
         while True:
@@ -434,22 +586,26 @@ def run_scale(
             if sim.now >= duration:
                 return None
             user_index = rng.randrange(users)
-            app = user_app[user_index]
-            steps = deployment.steps[app]
-            session = sessions.get(user_index)
-            if session is None:
-                session = sessions[user_index] = _UserSession()
-                position = rng.randrange(len(steps))
+            position: Optional[int] = None
+            if user_index not in sessions:
+                app = user_app[user_index]
+                position = rng.randrange(len(deployment.steps[app]))
                 if warm_start:
                     anchors = deployment.pred_positions[app]
                     if anchors:
                         eligible = [p for p in anchors if p <= position]
                         position = eligible[-1] if eligible else anchors[0]
-                session.position = position
-            step = steps[session.position % len(steps)]
-            session.position += 1
-            state["sent"] += 1
-            sim.spawn(send_one(user_index, step))
+            arrive(user_index, position)
+
+    def scheduled_arrivals() -> Generator:
+        # replay one shard's partition of a pre-drawn global schedule;
+        # the terminal delay keeps this generator alive to the instant
+        # the live path's final (duration-crossing) draw would wake it
+        for dt, user_index, first_position in arrival_schedule.events:
+            yield Delay(dt)
+            arrive(user_index, first_position)
+        yield Delay(arrival_schedule.terminal_dt)
+        return None
 
     def sweeper() -> Generator:
         while sim.now < duration:
@@ -465,7 +621,9 @@ def run_scale(
                 state["peak_entries"] = entries
         return None
 
-    sim.spawn(arrivals())
+    sim.spawn(
+        arrivals() if arrival_schedule is None else scheduled_arrivals()
+    )
     sim.spawn(sweeper())
     sim.spawn(sampler())
 
@@ -499,24 +657,8 @@ def run_scale(
     # per-stage latency histograms out of the registry: PERF.stage
     # feeds stage_seconds{stage=...}; sampled trace spans feed
     # span_wall_seconds{stage=...} (reported under a "span:" prefix)
-    stage_latency: Dict[str, Dict[str, float]] = {}
-    for metric, prefix in (("stage_seconds", ""), ("span_wall_seconds", "span:")):
-        for labels, histogram in PERF.registry.series(metric):
-            if not histogram.count:
-                continue
-            stage_latency[prefix + labels.get("stage", "")] = {
-                "count": histogram.count,
-                "p50_us": 1e6 * histogram.percentile(50),
-                "p95_us": 1e6 * histogram.percentile(95),
-                "p99_us": 1e6 * histogram.percentile(99),
-                "mean_us": 1e6 * histogram.mean,
-                "total_s": histogram.sum,
-            }
-    miss_causes = {
-        name[len("cache.miss."):]: count
-        for name, count in PERF.counters.items()
-        if name.startswith("cache.miss.")
-    }
+    stage_latency = stage_latency_from_registry(PERF.registry)
+    miss_causes = miss_causes_from_counters(PERF.counters)
 
     final_entries = multi.cache_entries()
     if final_entries > state["peak_entries"]:
@@ -563,7 +705,7 @@ def run_scale(
         if trace_path is not None and trace_stats is not None:
             trace_stats["exported"] = TRACER.export_jsonl(trace_path)
 
-    return {
+    row: Dict[str, object] = {
         "users": users,
         "apps": list(apps),
         "duration_s": duration,
@@ -630,6 +772,9 @@ def run_scale(
         "miss_causes": miss_causes,
         "trace": trace_stats,
     }
+    if collect_latencies:
+        row["latencies_s"] = latencies
+    return row
 
 
 def run_strategy_comparison(

@@ -94,20 +94,16 @@ class PerfCounters:
         if not self.enabled:
             return
         if isinstance(snapshot.get("counters"), dict):
-            counters = snapshot["counters"]
-            timings = snapshot.get("timings_s") or {}
-            histograms = snapshot.get("histograms") or {}
-        else:
-            counters, timings, histograms = snapshot, {}, {}
-        for name, value in counters.items():
+            # full snapshot: the registry owns the fold-back semantics
+            # (peak counters keep max, histogram bounds must agree, new
+            # series respect the cardinality guard)
+            self.registry.merge(snapshot)
+            return
+        for name, value in snapshot.items():
             if name.split("{", 1)[0].endswith("_peak"):
                 self.peak(name, value)
             else:
                 self.counters[name] = self.counters.get(name, 0) + value
-        for name, value in timings.items():
-            self.timings[name] = self.timings.get(name, 0.0) + value
-        if histograms:
-            self.registry.merge_histograms(histograms)
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -135,6 +131,8 @@ class PerfCounters:
         histograms = self.registry.snapshot_histograms()
         if histograms:
             data["histograms"] = histograms
+        if self.registry.gauges:
+            data["gauges"] = dict(self.registry.gauges)
         return data
 
     def __repr__(self) -> str:

@@ -158,6 +158,11 @@ class MetricRegistry:
         key = series_key(name, labels)
         if key in store:
             return key
+        if dict(labels).get("overflow") == "true":
+            # the guard's own sink series: always admitted and never
+            # counted against the budget, so worker-side overflow
+            # series fold back into it verbatim on merge
+            return key
         used = self._series_count.get(name, 0)
         if used >= self.max_series_per_metric:
             self.overflow_series += 1
@@ -222,10 +227,71 @@ class MetricRegistry:
         for key, snapshot in snapshots.items():
             histogram = self.histograms.get(key)
             if histogram is None:
+                name, labels = parse_series_key(key)
+                key = self._key(self.histograms, name, labels)
+                histogram = self.histograms.get(key)
+            if histogram is None:
                 histogram = self.histograms[key] = Histogram(
                     tuple(snapshot["bounds"])
                 )
             histogram.merge(snapshot)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Full picklable registry state, for cross-process fold-back.
+
+        The shape is what :meth:`merge` consumes — the sharded proxy
+        fleet's workers each ship one of these back to the supervisor,
+        which folds them into a single aggregate registry.
+        """
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timings_s": dict(self.timings),
+            "histograms": self.snapshot_histograms(),
+            "overflow_series": self.overflow_series,
+        }
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Fold-back semantics — chosen so that merging is commutative and
+        associative across any set of worker snapshots:
+
+        * counters and timings **add**, except counters whose base name
+          ends in ``_peak``, which keep the **maximum** (matching
+          :meth:`~repro.metrics.perf.PerfCounters.peak`);
+        * gauges keep the **maximum** (worker gauges are high-water
+          marks once they cross process boundaries — a "last written"
+          has no meaning across concurrent workers);
+        * histograms merge bucket-wise and **raise** on mismatched
+          bucket bounds rather than silently corrupting percentiles;
+        * ``overflow_series`` adds.
+
+        New labeled series are routed through the cardinality guard, so
+        a merge cannot grow a metric past ``max_series_per_metric`` —
+        excess series fold into ``{overflow="true"}`` exactly as live
+        recording would, and overflow-labeled series from the worker
+        side survive as themselves.
+        """
+        for key, value in (snapshot.get("counters") or {}).items():
+            name, labels = parse_series_key(key)
+            key = self._key(self.counters, name, labels)
+            if name.endswith("_peak"):
+                if value > self.counters.get(key, 0):
+                    self.counters[key] = value
+            else:
+                self.counters[key] = self.counters.get(key, 0) + value
+        for key, value in (snapshot.get("timings_s") or {}).items():
+            name, labels = parse_series_key(key)
+            key = self._key(self.timings, name, labels)
+            self.timings[key] = self.timings.get(key, 0.0) + value
+        for key, value in (snapshot.get("gauges") or {}).items():
+            name, labels = parse_series_key(key)
+            key = self._key(self.gauges, name, labels)
+            if key not in self.gauges or value > self.gauges[key]:
+                self.gauges[key] = value
+        self.merge_histograms(snapshot.get("histograms") or {})
+        self.overflow_series += int(snapshot.get("overflow_series") or 0)
 
     # -- export ---------------------------------------------------------
     def render_prometheus(self, prefix: str = "repro_") -> str:

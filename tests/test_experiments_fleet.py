@@ -1,0 +1,256 @@
+"""Tests for the multi-process sharded proxy fleet.
+
+Three layers: the sharding primitives (hash ring, schedule partition),
+the differential oracle (``run_fleet(workers=1)`` must be
+byte-equivalent to ``run_scale`` under the same seed — same arrivals,
+same counters, same fold-back), and the supervisor's failure surface
+(crashed / raising / hung workers raise :class:`FleetWorkerError`
+naming the lost shard instead of deadlocking).
+"""
+
+import pytest
+
+from repro.experiments.fleet import (
+    ConsistentHashRing,
+    FleetWorkerError,
+    format_fleet_table,
+    partition_schedule,
+    run_fleet,
+    shard_seed,
+    shard_users,
+)
+from repro.experiments.scale import build_arrival_schedule, run_scale
+
+#: row keys that must be identical between the serial harness and the
+#: one-worker fleet (everything deterministic; wall-clock keys excluded)
+DETERMINISTIC_KEYS = (
+    "requests",
+    "requests_sent",
+    "sim_events",
+    "hit_rate",
+    "served_prefetched",
+    "forwarded",
+    "prefetch_issued",
+    "peak_cache_entries",
+    "final_cache_entries",
+    "cache_stored",
+    "cache_expired_evictions",
+    "cache_lru_evictions",
+    "cache_wheel_purged",
+    "prefetch_wasted",
+    "skipped_admission",
+    "latency_p50_ms",
+    "latency_p95_ms",
+    "latency_p99_ms",
+    "prefetch_by_signature",
+    "miss_causes",
+    "expiration",
+    "history",
+)
+
+
+# ----------------------------------------------------------------------
+# consistent-hash sharding
+# ----------------------------------------------------------------------
+def test_ring_deterministic_across_instances():
+    first = ConsistentHashRing(4)
+    second = ConsistentHashRing(4)
+    keys = ["u{}".format(index) for index in range(200)]
+    assert [first.shard_for(k) for k in keys] == [second.shard_for(k) for k in keys]
+
+
+def test_ring_covers_all_shards_roughly_evenly():
+    assignment = shard_users(2000, 4)
+    counts = [assignment.count(shard) for shard in range(4)]
+    assert all(count > 0 for count in counts)
+    # virtual nodes keep the largest shard within ~2x of the mean
+    assert max(counts) < 2 * (2000 / 4)
+
+
+def test_ring_minimal_remap_on_grow():
+    before = shard_users(1000, 4)
+    after = shard_users(1000, 5)
+    moved = sum(1 for a, b in zip(before, after) if a != b)
+    # consistent hashing moves ~1/5 of the keys; a modulo hash would
+    # move ~4/5.  Allow generous slack over the ideal 200.
+    assert moved < 450
+
+
+def test_ring_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        ConsistentHashRing(0)
+    with pytest.raises(ValueError):
+        ConsistentHashRing(2, replicas=0)
+
+
+def test_shard_seed_distinct_and_stable():
+    seeds = {shard_seed(7, shard) for shard in range(8)}
+    assert len(seeds) == 8
+    assert shard_seed(7, 3) == shard_seed(7, 3)
+
+
+# ----------------------------------------------------------------------
+# schedule partitioning
+# ----------------------------------------------------------------------
+def _tiny_schedule(users=12, duration=5.0):
+    user_app = ["wish" if i % 2 == 0 else "doordash" for i in range(users)]
+    return build_arrival_schedule(
+        users, duration, 0.5, seed=3, step_counts={"wish": 9, "doordash": 9},
+        user_app=user_app,
+    )
+
+
+def test_partition_identity_for_one_shard():
+    schedule = _tiny_schedule()
+    [part] = partition_schedule(schedule, [0] * schedule.users, 1)
+    assert part.events == schedule.events
+    assert part.terminal_dt == schedule.terminal_dt
+
+
+def test_partition_preserves_global_arrival_instants():
+    schedule = _tiny_schedule()
+    assignment = shard_users(schedule.users, 3)
+    parts = partition_schedule(schedule, assignment, 3)
+    assert sum(len(p.events) for p in parts) == len(schedule.events)
+
+    # replaying each shard's deltas must reproduce the exact global
+    # arrival instant of every event it owns (same left-fold order)
+    global_instants = {}
+    now = 0.0
+    for index, (dt, user, _) in enumerate(schedule.events):
+        now = now + dt
+        global_instants[index] = (now, user)
+    remaining = sorted(global_instants.values())
+    reproduced = []
+    for part in parts:
+        now = 0.0
+        for dt, user, _ in part.events:
+            now = now + dt
+            reproduced.append((now, user))
+    reproduced.sort()
+    # cross-shard delta accumulation reassociates float additions, so
+    # instants match to rounding (the workers=1 identity case is exact)
+    for (got_t, got_u), (want_t, want_u) in zip(reproduced, remaining):
+        assert got_u == want_u
+        assert got_t == pytest.approx(want_t, rel=1e-12)
+    # every shard's horizon ends at the same instant as the global one
+    for part in parts:
+        horizon = sum(dt for dt, _, _ in part.events) + part.terminal_dt
+        assert horizon == pytest.approx(
+            sum(dt for dt, _, _ in schedule.events) + schedule.terminal_dt
+        )
+
+
+# ----------------------------------------------------------------------
+# differential oracle: one-worker fleet == serial harness
+# ----------------------------------------------------------------------
+def test_fleet_one_worker_matches_serial():
+    kwargs = dict(users=24, duration=6.0, seed=11, max_entries_per_user=16)
+    serial = run_scale(**kwargs)
+    fleet = run_fleet(workers=1, **kwargs)
+    for key in DETERMINISTIC_KEYS:
+        assert fleet[key] == serial[key], key
+    assert fleet["workers"] == 1
+    assert fleet["fleet"]["shard_users"] == [24]
+    assert len(fleet["shards"]) == 1
+
+
+def test_fleet_two_workers_reproducible_and_preserves_arrivals():
+    kwargs = dict(users=24, duration=6.0, seed=11, max_entries_per_user=16)
+    serial = run_scale(**kwargs)
+    first = run_fleet(workers=2, worker_timeout=120.0, **kwargs)
+    second = run_fleet(workers=2, worker_timeout=120.0, **kwargs)
+    # the partitioned schedule preserves the global arrival process
+    assert first["requests_sent"] == serial["requests_sent"]
+    assert first["requests"] == serial["requests"]
+    # and the fleet is deterministic run to run
+    for key in DETERMINISTIC_KEYS:
+        assert first[key] == second[key], key
+    assert first["fleet"]["shard_users"] == [len(m) for m in (
+        [u for u in range(24) if shard_users(24, 2)[u] == 0],
+        [u for u in range(24) if shard_users(24, 2)[u] == 1],
+    )]
+    assert sum(first["fleet"]["shard_requests"]) == first["requests"]
+    # folded metrics arrive as one aggregate: per-stage latency table
+    # and miss causes exist just like the serial row's
+    assert set(first["miss_causes"]) == set(serial["miss_causes"])
+    assert first["stage_latency_us"]
+
+
+def test_fleet_validates_arguments():
+    with pytest.raises(ValueError):
+        run_fleet(10, 1.0, workers=0)
+    with pytest.raises(ValueError):
+        run_fleet(2, 1.0, workers=4)
+
+
+# ----------------------------------------------------------------------
+# robustness: crashed / raising / hung workers
+# ----------------------------------------------------------------------
+def test_fleet_surfaces_worker_exception():
+    with pytest.raises(FleetWorkerError) as excinfo:
+        run_fleet(
+            12, 1.0, workers=2, seed=3, worker_timeout=30.0,
+            inject_failure={"shard": 1, "mode": "raise"},
+        )
+    assert excinfo.value.shards == (1,)
+    assert "shard 1" in str(excinfo.value)
+    assert "users" in str(excinfo.value)  # names the lost user slice
+    assert "injected failure" in str(excinfo.value)  # worker traceback
+
+
+def test_fleet_surfaces_worker_crash():
+    with pytest.raises(FleetWorkerError) as excinfo:
+        run_fleet(
+            12, 1.0, workers=2, seed=3, worker_timeout=30.0,
+            inject_failure={"shard": 0, "mode": "crash"},
+        )
+    assert excinfo.value.shards == (0,)
+    assert "exitcode" in str(excinfo.value)
+
+
+def test_fleet_surfaces_hung_worker_without_deadlock():
+    with pytest.raises(FleetWorkerError) as excinfo:
+        run_fleet(
+            12, 1.0, workers=2, seed=3, worker_timeout=5.0,
+            inject_failure={"shard": 1, "mode": "hang"},
+        )
+    assert excinfo.value.shards == (1,)
+    assert "hung" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# reporting
+# ----------------------------------------------------------------------
+def test_format_fleet_table():
+    rows = [
+        run_fleet(users=24, duration=4.0, seed=5, workers=1),
+    ]
+    table = format_fleet_table(rows)
+    assert "workers" in table and "req/wall_s" in table
+    assert "1.00x" in table
+    assert format_fleet_table([]) == "(no fleet rows)"
+
+
+def test_cli_scale_workers(capsys, tmp_path):
+    from repro.cli import main
+
+    out_path = tmp_path / "fleet.json"
+    code = main([
+        "scale", "--users", "24", "--duration", "4", "--workers", "2",
+        "--seed", "5", "--output", str(out_path),
+    ])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "fleet: 2 workers" in captured.out
+    assert out_path.exists()
+
+
+def test_cli_scale_rejects_bad_worker_combos(capsys):
+    from repro.cli import main
+
+    assert main(["scale", "--users", "10", "--workers", "0"]) == 2
+    assert main(["scale", "--users", "10", "--workers", "2",
+                 "--compare-strategies"]) == 2
+    assert main(["scale", "--users", "2", "--workers", "4"]) == 2
+    capsys.readouterr()
