@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Set, Tuple
 
-from repro.apk.ir import CallMethod, GetField, Invoke, MethodRef, Move, New, PutField
+from repro.apk.ir import CallMethod, GetField, Invoke, Move, New, PutField
 from repro.apk.program import ApkFile
 
 #: a variable: (method qualified name, register)

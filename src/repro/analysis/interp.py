@@ -30,7 +30,6 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.analysis.absval import (
     ABlob,
     AConst,
-    AConcat,
     AEntry,
     AIntent,
     AJson,

@@ -23,7 +23,6 @@ from repro.analysis.absval import (
     AJson,
     AList,
     ARequest,
-    ARespJson,
     AConst,
     AVal,
     to_template,

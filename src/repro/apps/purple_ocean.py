@@ -10,7 +10,7 @@ Fig. 16 despite large absolute savings.
 
 from __future__ import annotations
 
-from repro.apk.builder import AppBuilder, Lit, MethodBuilder
+from repro.apk.builder import AppBuilder, MethodBuilder
 from repro.apk.program import ApkFile
 from repro.apps.base import AppSpec, OriginSpec
 from repro.server.backends.purpleocean import (

@@ -13,6 +13,8 @@ Commands::
     scale --users N...        million-user serving-core load harness
                               (--trace out.jsonl samples request traces)
     stats TRACE.jsonl         per-stage / per-cause rollup of a trace
+    lint [PATHS...]           AST static-analysis gate (determinism,
+                              metrics hygiene, multiprocessing safety)
 """
 
 from __future__ import annotations
@@ -511,6 +513,37 @@ def _command_stats(args) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    from repro.qa import render_json, render_text, rule_catalog, run_lint
+
+    if args.list_rules:
+        for entry in rule_catalog():
+            print(
+                "{:<52} [{}]".format(
+                    ",".join(entry["ids"]), ",".join(entry["profiles"])
+                )
+            )
+            print("    {}".format(entry["description"]))
+        return 0
+    try:
+        report = run_lint(args.paths, root=args.root, strict=args.strict)
+    except FileNotFoundError as error:
+        print("lint: {}".format(error), file=sys.stderr)
+        return 2
+    if args.json is not None:
+        rendered = render_json(report)
+        if args.json == "-":
+            print(rendered)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(rendered)
+                handle.write("\n")
+            print("wrote lint report to {}".format(args.json), file=sys.stderr)
+    if args.json != "-":
+        print(render_text(report))
+    return report.exit_code
+
+
 def _print_rows(rows) -> None:
     if isinstance(rows, dict):
         for key, value in rows.items():
@@ -784,6 +817,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="fleet startup / serve deadline per phase (default: 300)",
     )
 
+    lint = commands.add_parser(
+        "lint", help="AST static-analysis gate (see DESIGN.md §14)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="also flag unused suppressions (the CI configuration)",
+    )
+    lint.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="FILE",
+        help="write the JSON report to FILE ('-' or bare flag: stdout)",
+    )
+    lint.add_argument(
+        "--root", default=None,
+        help="repo root for relpath/profile resolution (default: cwd)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and exit",
+    )
+
     stats = commands.add_parser(
         "stats", help="per-stage / per-cause rollup of a JSONL trace export"
     )
@@ -813,6 +870,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bench": _command_bench,
         "scale": _command_scale,
         "stats": _command_stats,
+        "lint": _command_lint,
     }
     return handlers[args.command](args)
 

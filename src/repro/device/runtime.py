@@ -34,7 +34,7 @@ from repro.apk.ir import (
 )
 from repro.apk.program import ApkFile, Component
 from repro.device.profile import DeviceProfile
-from repro.httpmsg.body import BlobBody, EmptyBody, FormBody, JsonBody
+from repro.httpmsg.body import BlobBody, FormBody, JsonBody
 from repro.httpmsg.cookies import CookieJar
 from repro.httpmsg.message import Request, Response, Transaction
 from repro.httpmsg.uri import Uri

@@ -228,6 +228,7 @@ def _fleet_worker(spec: Dict[str, object], barrier, results) -> None:
             spec["seed"],
         )
         if mode == "hang":
+            # repro-lint: disable=det-wall-clock -- robustness-test hook: the injected hang must outlast the supervisor's real deadline, so a host sleep is the point
             time.sleep(3600.0)
         try:
             barrier.wait(spec["worker_timeout"])

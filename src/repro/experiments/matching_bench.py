@@ -128,7 +128,6 @@ def synthesize_workload(
 def _run_pass(
     matcher: SignatureMatcher, requests: List[Request], indexed: bool
 ) -> Tuple[List[Optional[str]], Dict[str, int], float]:
-    import time
 
     outcomes: List[Optional[str]] = []
     with PERF.capture():

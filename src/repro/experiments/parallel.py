@@ -157,8 +157,10 @@ def init_worker_env(cache_env: Optional[str]) -> None:
     ``REPRO_ANALYSIS_CACHE`` configuration the parent resolved.
     """
     if cache_env:
+        # repro-lint: disable=mp-global-mutation -- pool initializer: mutating the *worker's own* environ before any cell runs is this function's entire job
         os.environ[ENV_ENABLE] = cache_env
     else:
+        # repro-lint: disable=mp-global-mutation -- pool initializer: clears stale cache config in the worker before any cell runs
         os.environ.pop(ENV_ENABLE, None)
 
 

@@ -22,7 +22,7 @@ from repro.apps.registry import all_apps, get_app
 from repro.device.fuzzing import MonkeyFuzzer
 from repro.device.runtime import AppRuntime, InteractionResult
 from repro.device.traces import generate_user_study, replay_trace
-from repro.experiments.scenario import PreparedApp, Scenario, prepare_app
+from repro.experiments.scenario import Scenario, prepare_app
 from repro.metrics.stats import cdf_points, mean, median, percentile, reduction
 from repro.netsim.sim import Delay
 from repro.proxy.instances import build_runtime_signatures, SignatureMatcher

@@ -54,6 +54,11 @@ from repro.apps.registry import get_app
 from repro.device.runtime import AppRuntime
 from repro.httpmsg.cookies import CookieJar
 from repro.httpmsg.message import Request, Response, Transaction
+from repro.metrics.catalog import (
+    CACHE_MISS_PREFIX,
+    SPAN_WALL_SECONDS,
+    STAGE_SECONDS,
+)
 from repro.metrics.perf import PERF, rss_peak_bytes
 from repro.metrics.stats import percentile
 from repro.metrics.trace import TRACER
@@ -378,7 +383,7 @@ def stage_latency_from_registry(registry) -> Dict[str, Dict[str, float]]:
     calls it on the registry folded back from every worker.
     """
     stage_latency: Dict[str, Dict[str, float]] = {}
-    for metric, prefix in (("stage_seconds", ""), ("span_wall_seconds", "span:")):
+    for metric, prefix in ((STAGE_SECONDS, ""), (SPAN_WALL_SECONDS, "span:")):
         for labels, histogram in registry.series(metric):
             if not histogram.count:
                 continue
@@ -396,9 +401,9 @@ def stage_latency_from_registry(registry) -> Dict[str, Dict[str, float]]:
 def miss_causes_from_counters(counters: Dict[str, int]) -> Dict[str, int]:
     """The ``cache.miss.<cause>`` counters, keyed by bare cause."""
     return {
-        name[len("cache.miss."):]: count
+        name[len(CACHE_MISS_PREFIX):]: count
         for name, count in counters.items()
-        if name.startswith("cache.miss.")
+        if name.startswith(CACHE_MISS_PREFIX)
     }
 
 

@@ -8,7 +8,6 @@ tests rely on.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 from repro.httpmsg.body import (
     BlobBody,

@@ -33,6 +33,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
+from repro.metrics.catalog import STAGE_SECONDS
 from repro.metrics.registry import MetricRegistry
 
 
@@ -117,7 +118,7 @@ class PerfCounters:
         finally:
             elapsed = time.perf_counter() - started
             self.timings[name] = self.timings.get(name, 0.0) + elapsed
-            self.registry.observe("stage_seconds", elapsed, labels={"stage": name})
+            self.registry.observe(STAGE_SECONDS, elapsed, labels={"stage": name})
 
     # -- reading --------------------------------------------------------
     def get(self, name: str) -> int:

@@ -47,38 +47,23 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional
 
+from repro.metrics import catalog
 from repro.metrics.registry import MetricRegistry
 
-#: canonical stage names a span may carry
-STAGES = (
-    "match",
-    "cache_lookup",
-    "origin_fetch",
-    "learn",
-    "instantiate",
-    "prefetch_issue",
-    "store",
-)
+#: canonical stage names a span may carry (declared in the catalog,
+#: the single source of truth for every observable name)
+STAGES = catalog.SPAN_STAGES
 
 #: every legal ``outcome`` tag of a ``cache_lookup`` span
-LOOKUP_OUTCOMES = (
-    "hit",
-    "miss_expired",
-    "miss_absent",
-    "wildcard_pending",
-    "disabled",
-    "unmatched",
-    "not_successor",
-    "passthrough",
-)
+LOOKUP_OUTCOMES = catalog.LOOKUP_OUTCOMES
 
 #: the miss causes reported per request class (everything but a hit)
-MISS_CAUSES = tuple(o for o in LOOKUP_OUTCOMES if o != "hit")
+MISS_CAUSES = catalog.MISS_CAUSES
 
 #: trace kinds: client requests, background prefetches, §5 refreshes,
 #: plus run-level "summary" records (spanless, tags-only — e.g. the
 #: scale harness's per-signature issued/hit/wasted table)
-KINDS = ("request", "prefetch", "refresh", "summary")
+KINDS = catalog.TRACE_KINDS
 
 
 class Span:
@@ -271,11 +256,13 @@ class Tracer:
         if registry is not None:
             for span in context.spans:
                 labels = {"stage": span.name}
-                registry.observe("span_wall_seconds", span.wall_s, labels=labels)
+                registry.observe(
+                    catalog.SPAN_WALL_SECONDS, span.wall_s, labels=labels
+                )
                 outcome = span.tags.get("outcome")
                 if outcome is not None:
                     registry.inc(
-                        "span_outcomes",
+                        catalog.SPAN_OUTCOMES,
                         labels={"stage": span.name, "outcome": outcome},
                     )
 
@@ -509,16 +496,16 @@ def registry_from_records(records) -> MetricRegistry:
     """Rebuild a registry (for a Prometheus dump) from trace records."""
     registry = MetricRegistry()
     for record in records:
-        registry.inc("traces", labels={"kind": record["kind"]})
+        registry.inc(catalog.TRACES, labels={"kind": record["kind"]})
         for span in record["spans"]:
             labels = {"stage": span["name"]}
             registry.observe(
-                "span_wall_seconds", span["wall_us"] / 1e6, labels=labels
+                catalog.SPAN_WALL_SECONDS, span["wall_us"] / 1e6, labels=labels
             )
             outcome = span.get("tags", {}).get("outcome")
             if outcome is not None:
                 registry.inc(
-                    "span_outcomes",
+                    catalog.SPAN_OUTCOMES,
                     labels={"stage": span["name"], "outcome": outcome},
                 )
     return registry

@@ -20,7 +20,7 @@ exact key, so replays are reproducible.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Optional, Tuple
+from typing import Dict, Generator, Tuple
 
 from repro.httpmsg.message import Request
 from repro.metrics.perf import PERF

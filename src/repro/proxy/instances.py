@@ -26,7 +26,7 @@ from repro.analysis.model import (
     UnknownAtom,
     ValueTemplate,
 )
-from repro.httpmsg.fieldpath import ALL, FieldPath
+from repro.httpmsg.fieldpath import FieldPath
 from repro.httpmsg.headers import Headers
 from repro.httpmsg.message import Request
 from repro.httpmsg.uri import Uri

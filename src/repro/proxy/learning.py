@@ -28,8 +28,6 @@ from typing import Deque, Dict, List, Optional, Set, Tuple
 from repro.analysis.model import (
     AltAtom,
     AnalysisResult,
-    ConstAtom,
-    DepAtom,
     UnknownAtom,
 )
 from repro.httpmsg.cookies import CookieJar

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional, Tuple
 
-from repro.httpmsg.message import Request, Response
+from repro.httpmsg.message import Request
 from repro.metrics.trace import TRACER
 from repro.netsim.link import Link
 from repro.netsim.sim import Delay, Simulator

@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Dict, Generator, Optional
 
 from repro.analysis.model import AnalysisResult
-from repro.httpmsg.message import Request, Response, Transaction
+from repro.httpmsg.message import Request, Transaction
 from repro.metrics.perf import PERF
 from repro.metrics.trace import TRACER, TraceContext
 from repro.netsim.link import Link

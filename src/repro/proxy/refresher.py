@@ -14,11 +14,11 @@ below ``min_interval``.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator, Tuple
 
 from repro.httpmsg.message import Request, Transaction
 from repro.metrics.trace import TRACER
-from repro.netsim.sim import Delay, Simulator
+from repro.netsim.sim import Delay
 from repro.proxy.prefetcher import origin_fetch
 from repro.proxy.proxy import AccelerationProxy
 

@@ -1,0 +1,433 @@
+"""The lint engine: rule registry, per-file walker, suppressions.
+
+The same discipline APPx applies to app code — derive invariants by
+static analysis instead of trusting the author — turned onto this
+repo's own source.  The engine is deliberately small:
+
+* every file is parsed **once** (``ast.parse``), and each rule
+  registers the node types it wants so one tree walk dispatches to
+  every active rule;
+* rules are activated per file by **profile**
+  (:mod:`repro.qa.profiles`): simulation/replay paths carry the full
+  determinism contract, ``benchmarks/`` may use wall clocks;
+* findings can be silenced line-by-line with
+  ``# repro-lint: disable=<rule-id>[,<rule-id>] -- <why>`` — the
+  reason is mandatory (``qa-suppression-missing-reason``) and a
+  suppression that matches nothing is itself a finding in ``--strict``
+  (``qa-unused-suppression``), so the suppression inventory cannot
+  rot;
+* output is deterministic: files are scanned in sorted posix-relpath
+  order and findings sort by (path, line, col, rule), so two runs on
+  the same tree are byte-identical — the property every other
+  subsystem here is held to.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (bad path).
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from repro.qa.profiles import profile_for
+
+# framework-level finding ids (not subject to profiles)
+PARSE_ERROR = "qa-parse-error"
+MISSING_REASON = "qa-suppression-missing-reason"
+UNUSED_SUPPRESSION = "qa-unused-suppression"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\- ]+?)\s*(?:--\s*(.*\S))?\s*$"
+)
+
+
+class Finding:
+    """One rule violation at one source location."""
+
+    __slots__ = ("rule_id", "path", "line", "col", "message")
+
+    def __init__(self, rule_id: str, path: str, line: int, col: int, message: str) -> None:
+        self.rule_id = rule_id
+        self.path = path
+        self.line = line
+        self.col = col
+        self.message = message
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def __repr__(self) -> str:
+        return "Finding({}:{}:{} {})".format(self.path, self.line, self.col, self.rule_id)
+
+
+class Suppression:
+    """One ``repro-lint: disable=`` comment, bound to a target line."""
+
+    __slots__ = ("target_line", "comment_line", "rule_ids", "reason", "used")
+
+    def __init__(self, target_line: int, comment_line: int,
+                 rule_ids: Tuple[str, ...], reason: Optional[str]) -> None:
+        self.target_line = target_line
+        self.comment_line = comment_line
+        self.rule_ids = rule_ids
+        self.reason = reason
+        self.used = False
+
+
+class ModuleContext:
+    """Everything rules may ask about the file being linted.
+
+    Holds the parse tree, the import-alias map (so ``from time import
+    time as now`` still resolves to ``time.time``), module-level
+    assignments, and a lazily built parent map for enclosing-scope
+    queries.
+    """
+
+    def __init__(self, relpath: str, source: str, tree: ast.Module, profile: str) -> None:
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.profile = profile
+        #: local name -> fully qualified dotted import target
+        self.aliases: Dict[str, str] = {}
+        #: module-level simple-Name assignment -> its value expression
+        self.module_assigns: Dict[str, ast.expr] = {}
+        #: names of functions defined at module top level
+        self.module_functions: Dict[str, ast.AST] = {}
+        self._parents: Optional[Dict[ast.AST, ast.AST]] = None
+        self._index_module()
+
+    # -- construction ---------------------------------------------------
+    def _index_module(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.asname:
+                        self.aliases[name.asname] = name.name
+                    else:
+                        base = name.name.split(".", 1)[0]
+                        self.aliases[base] = base
+            elif isinstance(node, ast.ImportFrom):
+                module = ("." * node.level) + (node.module or "")
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    local = name.asname or name.name
+                    self.aliases[local] = "{}.{}".format(module, name.name) if module else name.name
+        for stmt in self.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                self.module_assigns[stmt.targets[0].id] = stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name) and stmt.value is not None:
+                self.module_assigns[stmt.target.id] = stmt.value
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_functions[stmt.name] = stmt
+
+    # -- queries --------------------------------------------------------
+    def resolve_dotted(self, node: ast.expr) -> Optional[str]:
+        """``node`` as a dotted name with import aliases resolved.
+
+        ``Attribute(Name('dt'), 'now')`` with ``import datetime as dt``
+        resolves to ``datetime.now``-with-prefix: ``datetime.datetime``
+        aliasing works the same way.  Returns ``None`` for anything
+        that is not a plain Name/Attribute chain.
+        """
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.aliases.get(node.id, node.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def parent_map(self) -> Dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            parents: Dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        """The nearest ``def`` the node sits inside (None at module level)."""
+        parents = self.parent_map()
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = parents.get(current)
+        return None
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id`` (or ``emits`` when one checker reports
+    several finding kinds), ``profiles`` (the path profiles the rule is
+    active in), and ``node_types`` (the AST classes routed to
+    :meth:`visit` during the single tree walk).  Whole-module passes go
+    in :meth:`end_module`.
+    """
+
+    rule_id: str = ""
+    emits: Tuple[str, ...] = ()
+    description: str = ""
+    profiles: frozenset = frozenset()
+    node_types: Tuple[Type[ast.AST], ...] = ()
+
+    def emitted_ids(self) -> Tuple[str, ...]:
+        return self.emits or (self.rule_id,)
+
+    def start_module(self, ctx: ModuleContext) -> None:
+        pass
+
+    def visit(self, node: ast.AST, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def end_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+
+#: every registered rule class, in registration order
+_RULE_CLASSES: List[Type[Rule]] = []
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    _RULE_CLASSES.append(cls)
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh rule instances (rules may hold per-run state)."""
+    # the rule modules self-register on import
+    from repro.qa import rules  # noqa: F401  (import-for-side-effect)
+
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rule_catalog() -> List[Dict[str, object]]:
+    """Stable description of every registered rule (docs, --list-rules)."""
+    catalog = []
+    for rule in all_rules():
+        catalog.append({
+            "ids": list(rule.emitted_ids()),
+            "description": rule.description,
+            "profiles": sorted(rule.profiles),
+        })
+    return catalog
+
+
+# ======================================================================
+# suppression comments
+# ======================================================================
+def parse_suppressions(source: str) -> List[Suppression]:
+    """Extract every ``repro-lint: disable`` comment via the tokenizer.
+
+    A trailing comment suppresses its own line; a comment-only line
+    suppresses the next physical line (so multi-line calls can carry
+    the suppression above them).
+    """
+    suppressions: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.match(token.string)
+            if match is None:
+                continue
+            rule_ids = tuple(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            reason = match.group(2)
+            line = token.start[0]
+            prefix = token.line[: token.start[1]]
+            target = line if prefix.strip() else line + 1
+            suppressions.append(Suppression(target, line, rule_ids, reason))
+    except tokenize.TokenError:
+        pass  # the parse-error finding already covers broken files
+    return suppressions
+
+
+# ======================================================================
+# per-file walk
+# ======================================================================
+def lint_source(relpath: str, source: str, profile: Optional[str] = None,
+                strict: bool = False,
+                rules: Optional[Sequence[Rule]] = None) -> Tuple[List[Finding], int]:
+    """Lint one file's source; returns (findings, suppressed_count).
+
+    Exposed separately from :func:`run_lint` so tests can feed fixture
+    snippets without touching the filesystem.
+    """
+    if profile is None:
+        profile = profile_for(relpath)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return (
+            [Finding(PARSE_ERROR, relpath, error.lineno or 1, error.offset or 0,
+                     "file does not parse: {}".format(error.msg))],
+            0,
+        )
+    ctx = ModuleContext(relpath, source, tree, profile)
+    active = [
+        rule for rule in (all_rules() if rules is None else rules)
+        if profile in rule.profiles
+    ]
+    by_type: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in active:
+        rule.start_module(ctx)
+        for node_type in rule.node_types:
+            by_type.setdefault(node_type, []).append(rule)
+
+    raw: List[Finding] = []
+    if by_type:
+        for node in ast.walk(tree):
+            for rule in by_type.get(type(node), ()):
+                raw.extend(rule.visit(node, ctx))
+    for rule in active:
+        raw.extend(rule.end_module(ctx))
+
+    suppressions = parse_suppressions(source)
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        by_line.setdefault(suppression.target_line, []).append(suppression)
+
+    findings: List[Finding] = []
+    suppressed = 0
+    known_ids = {
+        rule_id for rule in active for rule_id in rule.emitted_ids()
+    }
+    for finding in raw:
+        matched = None
+        for suppression in by_line.get(finding.line, ()):
+            if finding.rule_id in suppression.rule_ids:
+                matched = suppression
+                break
+        if matched is not None:
+            matched.used = True
+            suppressed += 1
+        else:
+            findings.append(finding)
+
+    for suppression in suppressions:
+        if suppression.reason is None:
+            findings.append(Finding(
+                MISSING_REASON, relpath, suppression.comment_line, 0,
+                "suppression of {} has no justification; append "
+                "' -- <why this is safe>'".format(",".join(suppression.rule_ids)),
+            ))
+        if strict and not suppression.used:
+            # a suppression for a rule this profile never runs, or for a
+            # finding that no longer fires, is stale inventory
+            stale = [
+                rule_id for rule_id in suppression.rule_ids
+                if rule_id not in known_ids
+            ]
+            detail = (
+                " ({} not active in profile {!r})".format(",".join(stale), profile)
+                if stale else ""
+            )
+            findings.append(Finding(
+                UNUSED_SUPPRESSION, relpath, suppression.comment_line, 0,
+                "suppression of {} matched no finding{}; remove it".format(
+                    ",".join(suppression.rule_ids), detail),
+            ))
+    findings.sort(key=Finding.sort_key)
+    return findings, suppressed
+
+
+# ======================================================================
+# the runner
+# ======================================================================
+class LintReport:
+    """Aggregate result of one lint run."""
+
+    def __init__(self, root: str, strict: bool) -> None:
+        self.root = root
+        self.strict = strict
+        self.files_scanned = 0
+        self.findings: List[Finding] = []
+        self.suppressed = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "strict": self.strict,
+            "files_scanned": self.files_scanned,
+            "findings": [finding.to_dict() for finding in self.findings],
+            "suppressed": self.suppressed,
+            "counts": self.counts(),
+            "exit_code": self.exit_code,
+        }
+
+
+def collect_files(paths: Sequence[str], root: Path) -> List[Path]:
+    """Every ``.py`` file under ``paths``, sorted by posix relpath."""
+    found = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            found.add(path.resolve())
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if "__pycache__" in candidate.parts:
+                    continue
+                if any(part.startswith(".") for part in candidate.parts):
+                    continue
+                found.add(candidate.resolve())
+        else:
+            raise FileNotFoundError("lint path does not exist: {}".format(raw))
+    return sorted(found, key=lambda p: _relpath(p, root))
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def run_lint(paths: Sequence[str], root: Optional[str] = None,
+             strict: bool = False) -> LintReport:
+    """Lint every python file under ``paths`` (relative to ``root``)."""
+    base = Path(root).resolve() if root else Path.cwd().resolve()
+    report = LintReport(str(base), strict)
+    for path in collect_files(paths, base):
+        relpath = _relpath(path, base)
+        source = path.read_text(encoding="utf-8")
+        findings, suppressed = lint_source(relpath, source, strict=strict)
+        report.files_scanned += 1
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+    report.findings.sort(key=Finding.sort_key)
+    return report

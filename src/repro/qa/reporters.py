@@ -1,0 +1,45 @@
+"""Lint output: a terminal text report and a machine-readable JSON one.
+
+Both are deterministic functions of the (already sorted)
+:class:`~repro.qa.core.LintReport`, so CI can diff reports across runs
+and the JSON artifact uploaded next to the BENCH trajectories is
+stable byte-for-byte for a given tree.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.qa.core import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """``path:line:col: rule-id: message`` lines plus a summary."""
+    lines = [
+        "{}:{}:{}: {}: {}".format(
+            finding.path, finding.line, finding.col,
+            finding.rule_id, finding.message)
+        for finding in report.findings
+    ]
+    counts = report.counts()
+    if counts:
+        breakdown = ", ".join(
+            "{} {}".format(count, rule_id) for rule_id, count in counts.items()
+        )
+        lines.append("")
+        lines.append(
+            "{} finding(s) in {} file(s) ({}); {} suppressed".format(
+                len(report.findings), report.files_scanned,
+                breakdown, report.suppressed)
+        )
+    else:
+        lines.append(
+            "clean: {} file(s), 0 findings, {} suppressed".format(
+                report.files_scanned, report.suppressed)
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The report as stable (sorted-key, indented) JSON."""
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,5 @@
+"""Rule modules self-register on import (see ``repro.qa.core.register``)."""
+
+from repro.qa.rules import determinism, metrics_hygiene, mp_safety
+
+__all__ = ["determinism", "metrics_hygiene", "mp_safety"]

@@ -15,7 +15,7 @@ from repro.analysis.absval import (
     concat,
     to_template,
 )
-from repro.analysis.model import ConstAtom, DepAtom, UnknownAtom
+from repro.analysis.model import DepAtom, UnknownAtom
 
 
 def test_const_folding_in_concat():

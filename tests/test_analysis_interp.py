@@ -7,7 +7,7 @@ Intents, Rx chains, aliased heap objects, and branch variants.
 
 import pytest
 
-from repro.analysis.model import AltAtom, ConstAtom, DepAtom, UnknownAtom
+from repro.analysis.model import AltAtom, DepAtom, UnknownAtom
 from repro.analysis.pipeline import AnalysisOptions, analyze_apk
 from repro.apk.builder import AppBuilder, Lit, MethodBuilder
 from repro.httpmsg.fieldpath import FieldPath

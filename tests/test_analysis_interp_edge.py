@@ -1,6 +1,5 @@
 """Edge-case tests for the abstract interpreter."""
 
-import pytest
 
 from repro.analysis.interp import AbstractInterpreter, InterpOptions
 from repro.analysis.pipeline import AnalysisOptions, analyze_apk

@@ -11,8 +11,8 @@ from repro.analysis.slicing import (
     forward_slice,
     slice_report,
 )
-from repro.apk.builder import AppBuilder, Lit, MethodBuilder
-from repro.apk.ir import Const, GetField, Invoke, PutField
+from repro.apk.builder import AppBuilder, MethodBuilder
+from repro.apk.ir import GetField, PutField
 
 
 def build_app():

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apk.builder import AppBuilder, Lit, MethodBuilder
+from repro.apk.builder import AppBuilder, MethodBuilder
 from repro.apk.validate import ValidationError, validate_apk
 
 

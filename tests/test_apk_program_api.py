@@ -10,7 +10,7 @@ from repro.apk.api import (
     spec_for,
     unknown_tag,
 )
-from repro.apk.ir import Block, MethodRef
+from repro.apk.ir import MethodRef
 from repro.apk.program import ApkFile, AppClass, Component, EventSpec, Method, Screen
 
 

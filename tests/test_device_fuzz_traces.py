@@ -1,6 +1,5 @@
 """Tests for the Monkey fuzzer and the user-study trace machinery."""
 
-import pytest
 
 from repro.apps.wish import SPEC as WISH
 from repro.apps.doordash import SPEC as DOORDASH

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.apps.wish import SPEC as WISH
-from repro.device.profile import DeviceProfile
 from repro.device.runtime import AppRuntime
 from repro.netsim.link import Link
 from repro.netsim.sim import Delay, Simulator

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.scenario import Scenario, prepare_app, scoped_config
-from repro.netsim.sim import Delay
 
 
 @pytest.fixture(scope="module")

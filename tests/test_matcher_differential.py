@@ -12,7 +12,6 @@ import pytest
 
 from repro.analysis import analyze_apk
 from repro.analysis.model import (
-    AnalysisResult,
     ConstAtom,
     RequestTemplate,
     ResponseTemplate,

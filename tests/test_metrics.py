@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.httpmsg.body import BlobBody, JsonBody
+from repro.httpmsg.body import BlobBody
 from repro.httpmsg.message import Request, Response, Transaction
 from repro.httpmsg.uri import Uri
 from repro.metrics.stats import (

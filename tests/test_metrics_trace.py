@@ -10,7 +10,7 @@ from repro.device.runtime import AppRuntime
 from repro.httpmsg.body import JsonBody
 from repro.httpmsg.message import Request, Response
 from repro.httpmsg.uri import Uri
-from repro.metrics.perf import PERF, PerfCounters
+from repro.metrics.perf import PerfCounters
 from repro.metrics.registry import (
     Histogram,
     MetricRegistry,
@@ -19,7 +19,6 @@ from repro.metrics.registry import (
 )
 from repro.metrics.trace import (
     LOOKUP_OUTCOMES,
-    STAGES,
     TRACER,
     TraceContext,
     Tracer,

@@ -9,7 +9,6 @@ from repro.netsim.link import Link
 from repro.netsim.sim import Delay, Simulator
 from repro.netsim.transport import DirectTransport
 from repro.proxy import AccelerationProxy, ProxiedTransport, default_config
-from repro.proxy.config import ProxyConfig
 from repro.server.content import Catalog
 
 

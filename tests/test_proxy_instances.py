@@ -1,6 +1,5 @@
 """Tests for runtime signatures, template matching, and instances."""
 
-import pytest
 
 from repro.analysis.model import (
     AltAtom,

@@ -1,6 +1,5 @@
 """Tests for dynamic learning (Fig. 6/7 workflows)."""
 
-import pytest
 
 from repro.analysis.model import (
     AnalysisResult,

@@ -1,7 +1,6 @@
 """Deeper dynamic-learning scenarios: URI hosts, alternations, header
 dependencies, and unstable (nonce) fields."""
 
-import pytest
 
 from repro.analysis import analyze_apk
 from repro.analysis.model import (

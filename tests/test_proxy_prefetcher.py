@@ -17,7 +17,7 @@ from repro.netsim.link import Link
 from repro.netsim.sim import Delay, Simulator
 from repro.netsim.transport import Endpoint, OriginMap
 from repro.proxy.cache import PrefetchCache
-from repro.proxy.config import Condition, ProxyConfig, SignaturePolicy
+from repro.proxy.config import Condition, ProxyConfig
 from repro.proxy.instances import RequestInstance, RuntimeSignature
 from repro.proxy.learning import DynamicLearner, ReadyPrefetch
 from repro.proxy.prefetcher import Prefetcher

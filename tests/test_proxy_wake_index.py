@@ -7,7 +7,6 @@ and the unchanged observable behavior (pending_count, dedupe,
 oldest-first eviction at MAX_PENDING).
 """
 
-import pytest
 
 from repro.analysis.model import (
     AnalysisResult,

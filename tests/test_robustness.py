@@ -1,6 +1,5 @@
 """Robustness: bounded state, concurrent users, fault tolerance."""
 
-import pytest
 
 from repro.analysis.model import (
     AnalysisResult,

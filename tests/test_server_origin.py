@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.httpmsg.body import FormBody, JsonBody
 from repro.httpmsg.headers import Headers
 from repro.httpmsg.message import Request
 from repro.httpmsg.uri import Uri
