@@ -1,0 +1,278 @@
+"""Learn-tail benchmark: the deferred pipeline vs the inline oracle.
+
+Stage timings motivated this PR: ``proxy.learn`` p99 ≈ 4,900µs inline
+against ~30µs dispatch — run-time value learning plus successor
+instantiation dominated the request path by two orders of magnitude on
+slow requests.  Section 1 serves one identical 1k-user open-loop
+workload twice, once per learn mode, and asserts the deferred request
+path cuts ``proxy.learn`` p99 by at least 3× (the work moves to the
+budgeted ``proxy.learn_drain`` stage, off the response-critical path)
+while producing the same served workload.  Section 2 micro-benchmarks
+copy-on-write instantiation: N replicated instances building through
+the shared :class:`SignatureBuildPlan` vs the seed's per-build atom
+walk, reported as replicas/µs.  Both sections land in
+``BENCH_learn.json``; the headline row appends to ``bench_tables.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from conftest import banner, run_once
+
+from repro.analysis.model import (
+    ConstAtom,
+    DepAtom,
+    RequestTemplate,
+    ResponseTemplate,
+    TransactionSignature,
+    UnknownAtom,
+    ValueTemplate,
+)
+from repro.experiments.scale import run_scale
+from repro.httpmsg.fieldpath import FieldPath
+from repro.proxy.instances import (
+    RequestInstance,
+    RuntimeSignature,
+    ValueStore,
+)
+
+ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_learn.json"
+TABLES = Path(__file__).resolve().parent.parent / "bench_tables.txt"
+BUDGETS = Path(__file__).resolve().parent / "perf_budgets.json"
+
+USERS = 1_000
+DURATION = 1.0  # ~500 expected arrivals, matching the scale bench cell
+RATE = 0.5
+SEED = 0
+#: the acceptance gate: deferred request-path learn p99 vs inline
+SPEEDUP_GATE = 3.0
+
+#: COW micro-bench: replicas per spawn burst × bursts
+REPLICAS = 200
+BURSTS = 25
+
+
+def _learn_stages(row):
+    stages = row["stage_latency_us"]
+    return {
+        stage: {
+            "p50_us": stats["p50_us"],
+            "p99_us": stats["p99_us"],
+            "count": stats["count"],
+        }
+        for stage, stats in stages.items()
+        if stage in ("proxy.dispatch", "proxy.learn", "proxy.learn_drain")
+    }
+
+
+def test_perf_learn_modes(benchmark):
+    def sweep():
+        rows = {}
+        for mode in ("inline", "deferred"):
+            rows[mode] = run_scale(
+                USERS,
+                DURATION,
+                rate_per_user=RATE,
+                seed=SEED,
+                learn_mode=mode,
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    inline, deferred = rows["inline"], rows["deferred"]
+
+    banner("Learn tail: request-path proxy.learn, inline vs deferred")
+    print(
+        "{:>10} {:>9} {:>10} {:>10} {:>12} {:>12} {:>8}".format(
+            "mode", "requests", "learn_p50", "learn_p99",
+            "drain_p50", "drain_p99", "hit",
+        )
+    )
+    for mode, row in rows.items():
+        stages = row["stage_latency_us"]
+        learn = stages["proxy.learn"]
+        drain = stages.get("proxy.learn_drain")
+        print(
+            "{:>10} {:>9} {:>9.1f}u {:>9.1f}u {:>11} {:>11} {:>7.0f}%".format(
+                mode,
+                row["requests"],
+                learn["p50_us"],
+                learn["p99_us"],
+                "{:.1f}u".format(drain["p50_us"]) if drain else "-",
+                "{:.1f}u".format(drain["p99_us"]) if drain else "-",
+                100 * row["hit_rate"],
+            )
+        )
+
+    # both modes served the identical seeded workload, with the same
+    # outcome — deferral moves work, it must not change results
+    assert deferred["requests"] == inline["requests"]
+    assert deferred["served_prefetched"] == inline["served_prefetched"]
+    assert deferred["prefetch_issued"] == inline["prefetch_issued"]
+    assert deferred["hit_rate"] == inline["hit_rate"]
+    # the bounded queue never overflowed under the per-request pump
+    assert deferred["learn_queue_overflows"] == 0
+    assert deferred["learn_deferred_drained"] > 0
+
+    inline_p99 = inline["stage_latency_us"]["proxy.learn"]["p99_us"]
+    deferred_p99 = deferred["stage_latency_us"]["proxy.learn"]["p99_us"]
+    speedup = inline_p99 / deferred_p99 if deferred_p99 else float("inf")
+    print(
+        "request-path proxy.learn p99: inline {:.0f}us -> deferred {:.0f}us "
+        "({:.1f}x)".format(inline_p99, deferred_p99, speedup)
+    )
+    assert speedup >= SPEEDUP_GATE, (
+        "deferred proxy.learn p99 {:.0f}us is only {:.1f}x below inline "
+        "{:.0f}us (gate {:.1f}x)".format(
+            deferred_p99, speedup, inline_p99, SPEEDUP_GATE
+        )
+    )
+
+    # the tightened committed budget must hold in the default mode
+    budgets = json.loads(BUDGETS.read_text())
+    budget_us = budgets["proxy.learn"]["p99_us"]
+    assert deferred_p99 <= budget_us, (
+        "deferred proxy.learn p99 {:.0f}us blew the committed {:.0f}us "
+        "budget".format(deferred_p99, budget_us)
+    )
+
+    section = {
+        "users": USERS,
+        "duration_s": DURATION,
+        "seed": SEED,
+        "modes": {mode: _learn_stages(row) for mode, row in rows.items()},
+        "request_path_p99_speedup": speedup,
+        "budget_p99_us": budget_us,
+        "queue": {
+            "overflows": deferred["learn_queue_overflows"],
+            "drained": deferred["learn_deferred_drained"],
+        },
+    }
+    _merge_artifact({"learn_modes": section})
+
+    table = (
+        "learn tail: inline p99 {:.0f}us -> deferred p99 {:.0f}us "
+        "({:.1f}x, gate {:.0f}x, budget {:.0f}us) at {} users\n".format(
+            inline_p99, deferred_p99, speedup, SPEEDUP_GATE, budget_us, USERS
+        )
+    )
+    with TABLES.open("a") as handle:
+        handle.write(table)
+    print("wrote {}".format(ARTIFACT.name))
+
+
+def _replica_signature() -> RuntimeSignature:
+    """A successor shaped like the real apps': const + dep + env fields."""
+    fields = {
+        FieldPath.parse("header.Cookie"): ValueTemplate(
+            [UnknownAtom("env:cookie")]
+        ),
+        FieldPath.parse("body.cid"): ValueTemplate(
+            [DepAtom("pred#0", FieldPath.parse("body.items[].id"))]
+        ),
+        FieldPath.parse("body.v"): ValueTemplate.const("7"),
+        FieldPath.parse("body.channel"): ValueTemplate.const("android"),
+        FieldPath.parse("body._ver"): ValueTemplate(
+            [UnknownAtom("env:config:version")]
+        ),
+    }
+    request = RequestTemplate(
+        method="POST",
+        uri=ValueTemplate(
+            [UnknownAtom("env:config:api_host"), ConstAtom("/detail")]
+        ),
+        fields=fields,
+        body_kind="form",
+    )
+    return RuntimeSignature(
+        TransactionSignature("succ#0", request, ResponseTemplate())
+    )
+
+
+def _spawn_and_build(signature, store, use_plan: bool) -> int:
+    built = 0
+    for burst in range(BURSTS):
+        for index in range(REPLICAS):
+            instance = RequestInstance(signature, "u1")
+            instance.fill(
+                FieldPath.parse("body.cid"), "c{}-{}".format(burst, index)
+            )
+            request = instance.build(store, use_plan=use_plan)
+            if request is not None:
+                built += 1
+    return built
+
+
+def test_perf_cow_instantiation(benchmark):
+    store = ValueStore()
+    store.learn_tag("u1", "env:cookie", "bsid=fresh")
+    store.learn_tag("u1", "env:config:version", "9.9")
+    store.learn_tag("u1", "env:config:api_host", "https://api.test.com")
+    signature = _replica_signature()
+    total = REPLICAS * BURSTS
+
+    def measure():
+        results = {}
+        for use_plan in (False, True):
+            started = time.perf_counter()
+            built = _spawn_and_build(signature, store, use_plan)
+            elapsed = time.perf_counter() - started
+            assert built == total
+            results["plan" if use_plan else "naive"] = {
+                "replicas": total,
+                "wall_s": elapsed,
+                "replicas_per_us": total / (1e6 * elapsed),
+            }
+        return results
+
+    results = run_once(benchmark, measure)
+
+    banner("Copy-on-write instantiation: shared build plan vs naive walk")
+    print(
+        "{:>8} {:>9} {:>10} {:>14}".format(
+            "path", "replicas", "wall_ms", "replicas/us"
+        )
+    )
+    for path, cell in results.items():
+        print(
+            "{:>8} {:>9} {:>10.2f} {:>14.3f}".format(
+                path, cell["replicas"], 1e3 * cell["wall_s"],
+                cell["replicas_per_us"],
+            )
+        )
+    speedup = results["plan"]["replicas_per_us"] / results["naive"]["replicas_per_us"]
+    print("plan path builds {:.2f}x the replicas per microsecond".format(speedup))
+
+    # the shared plan must never lose to the per-build atom walk it
+    # replaced; 0.9 tolerates host noise on an already-fast path
+    assert speedup >= 0.9, (
+        "plan-based build is {:.2f}x the naive rate — the COW plan "
+        "regressed instantiation".format(speedup)
+    )
+
+    _merge_artifact({"cow_instantiation": {**results, "speedup": speedup}})
+    with TABLES.open("a") as handle:
+        handle.write(
+            "cow instantiation: plan {:.3f} vs naive {:.3f} replicas/us "
+            "({:.2f}x) over {} replicas\n".format(
+                results["plan"]["replicas_per_us"],
+                results["naive"]["replicas_per_us"],
+                speedup,
+                total,
+            )
+        )
+
+
+def _merge_artifact(update: dict) -> None:
+    """Fold new sections into BENCH_learn.json without dropping others."""
+    data = {}
+    if ARTIFACT.exists():
+        try:
+            data = json.loads(ARTIFACT.read_text())
+        except ValueError:
+            data = {}
+    data.update(update)
+    ARTIFACT.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

@@ -251,6 +251,7 @@ def _command_scale(args) -> int:
         adaptive_budget=args.adaptive_budget,
         admission_threshold=args.admission_threshold,
         estimate_expiration=args.estimate_expiration,
+        learn_mode=args.learn_mode,
     )
     if args.compare_strategies:
         comparison = run_strategy_comparison(
@@ -759,6 +760,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--compare-strategies", action="store_true",
         help="run all three strategies on the identical workload and "
              "print the comparison table (uses the largest --users value)",
+    )
+    scale.add_argument(
+        "--learn-mode", choices=["inline", "deferred"], default="deferred",
+        help="deferred: request path only matches + enqueues, the learn "
+             "pipeline runs in a budgeted drain off the critical path; "
+             "inline: learn on observe (differential oracle; the seed "
+             "behavior) (default: deferred)",
     )
     scale.add_argument(
         "--max-entries-total", type=int, default=None,

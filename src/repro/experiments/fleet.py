@@ -382,6 +382,7 @@ def run_fleet(
     admission_threshold: Optional[float] = None,
     estimate_expiration: bool = False,
     warm_start: bool = False,
+    learn_mode: str = "deferred",
     replicas: int = DEFAULT_REPLICAS,
     worker_timeout: float = DEFAULT_WORKER_TIMEOUT_S,
     prom_path: Optional[str] = None,
@@ -432,6 +433,7 @@ def run_fleet(
         "adaptive_budget": adaptive_budget,
         "admission_threshold": admission_threshold,
         "strategy": strategy,
+        "learn_mode": learn_mode,
     }
 
     # the plan deployment provides per-app step counts for the schedule
@@ -781,6 +783,9 @@ def _aggregate(
         "adaptive_budget": deploy_kwargs["adaptive_budget"],
         "admission_threshold": deploy_kwargs["admission_threshold"],
         "strategy": deploy_kwargs["strategy"],
+        "learn_mode": deploy_kwargs["learn_mode"],
+        "learn_queue_overflows": total("learn_queue_overflows"),
+        "learn_deferred_drained": total("learn_deferred_drained"),
         "prefetch_wasted": total("prefetch_wasted"),
         "skipped_admission": total("skipped_admission"),
         "prefetch_by_signature": by_signature,

@@ -68,6 +68,7 @@ from repro.netsim.transport import DirectTransport, OriginMap
 from repro.proxy.cache import PrefetchCache
 from repro.proxy.expiration import ExpirationEstimator
 from repro.proxy.history import HistoryPrefetcher
+from repro.proxy.learning import LEARN_MODES
 from repro.proxy.multiapp import MultiAppProxy, MultiAppTransport
 from repro.proxy.proxy import AccelerationProxy
 from repro.server.content import Catalog
@@ -216,15 +217,23 @@ class _ScaleDeployment:
         adaptive_budget: bool = False,
         admission_threshold: Optional[float] = None,
         strategy: str = "appx",
+        learn_mode: str = "deferred",
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
                 "strategy must be one of {}, got {!r}".format(STRATEGIES, strategy)
             )
+        if learn_mode not in LEARN_MODES:
+            raise ValueError(
+                "learn_mode must be one of {}, got {!r}".format(
+                    LEARN_MODES, learn_mode
+                )
+            )
         self.sim = Simulator()
         self.origins = OriginMap()
         self.multi = MultiAppProxy(self.sim, self.origins)
         self.strategy = strategy
+        self.learn_mode = learn_mode
         self.templates: Dict[str, List[Request]] = {}
         self.steps: Dict[str, List[_ReplayStep]] = {}
         #: per app, the template positions whose site is a dependency
@@ -249,7 +258,7 @@ class _ScaleDeployment:
                 adaptive=adaptive_budget,
             )
             proxy = AccelerationProxy(
-                self.sim, app_origins, analysis, cache=cache
+                self.sim, app_origins, analysis, cache=cache, learn_mode=learn_mode
             )
             proxy.prefetcher.lazy_drain = lazy_drain
             if admission_threshold is not None:
@@ -430,6 +439,7 @@ def run_scale(
     warm_start: bool = False,
     arrival_schedule: Optional[ArrivalSchedule] = None,
     collect_latencies: bool = False,
+    learn_mode: str = "deferred",
     _deployment: Optional[_ScaleDeployment] = None,
 ) -> Dict[str, object]:
     """Serve an open-loop Poisson workload; returns the metrics row.
@@ -473,6 +483,12 @@ def run_scale(
                 deployment.strategy, strategy
             )
         )
+    if deployment is not None and deployment.learn_mode != learn_mode:
+        raise ValueError(
+            "reused deployment was built for learn_mode {!r}, not {!r}".format(
+                deployment.learn_mode, learn_mode
+            )
+        )
     if deployment is None:
         deployment = _ScaleDeployment(
             apps,
@@ -484,6 +500,7 @@ def run_scale(
             adaptive_budget=adaptive_budget,
             admission_threshold=admission_threshold,
             strategy=strategy,
+            learn_mode=learn_mode,
         )
     sim = deployment.sim
     multi = deployment.multi
@@ -616,6 +633,10 @@ def run_scale(
         while sim.now < duration:
             yield Delay(PURGE_INTERVAL)
             multi.purge_expired(sim.now)
+            # drain any deferred-learn backlog a burst left behind
+            # (the per-request pump keeps the queue ~empty normally)
+            for _, proxy in multi._apps:
+                proxy.pump_learning()
         return None
 
     def sampler() -> Generator:
@@ -745,6 +766,13 @@ def run_scale(
         "adaptive_budget": adaptive_budget,
         "admission_threshold": admission_threshold,
         "strategy": strategy,
+        "learn_mode": learn_mode,
+        "learn_queue_overflows": sum(
+            proxy.learner.queue_overflows for _, proxy in multi._apps
+        ),
+        "learn_deferred_drained": sum(
+            proxy.learner.deferred_drained for _, proxy in multi._apps
+        ),
         "prefetch_wasted": sum(c.wasted for c in caches),
         "skipped_admission": sum(
             proxy.prefetcher.skipped_admission for _, proxy in multi._apps

@@ -62,6 +62,7 @@ SPAN_STAGES: Tuple[str, ...] = (
     "cache_lookup",
     "origin_fetch",
     "learn",
+    "learn_drain",
     "instantiate",
     "prefetch_issue",
     "store",
@@ -92,6 +93,7 @@ PERF_STAGES: Tuple[str, ...] = (
     "proxy.dispatch",
     "proxy.cache_lookup",
     "proxy.learn",
+    "proxy.learn_drain",
 )
 
 
@@ -155,6 +157,9 @@ COUNTERS: Dict[str, str] = {
     "expiration.probes": "§4.3 expiration-estimator probe fetches",
     "expiration.disabled": "signatures disabled by probe errors",
     "history.issued": "prefetches issued by the PALOMA-style baseline",
+    "learn.deferred_drained": "observations processed by the deferred learn drain",
+    "learn.queue_depth_peak": "high-water mark of the deferred learn queue",
+    "learn.queue_overflow": "observations dropped by a full deferred learn queue",
     "learner.enqueued": "pending successor instances enqueued",
     "learner.wake_retries": "pending-instance wake-index retries",
     "matcher.requests": "signature-dispatch attempts",

@@ -147,10 +147,27 @@ class RuntimeSignature:
             path_string: (path, template)
             for path, path_string, template in self.field_rows
         }
+        #: the variant field-sets as one frozenset, so membership tests
+        #: on the hot path are O(1) instead of rebuilding a throwaway
+        #: ``set(...)`` per call
+        self.variants_set: frozenset = frozenset(signature.variants)
         #: edges where this signature is the predecessor
         self.out_edges: List[DependencyEdge] = []
         #: edges where this signature is the successor
         self.in_edges: List[DependencyEdge] = []
+        self._build_plan: Optional["SignatureBuildPlan"] = None
+
+    @property
+    def build_plan(self) -> "SignatureBuildPlan":
+        """The copy-on-write build plan, computed once per signature.
+
+        Every :class:`RequestInstance` replicated from this signature
+        shares the plan; per-instance state is only the dep bindings
+        and the per-field resolution memos.
+        """
+        if self._build_plan is None:
+            self._build_plan = SignatureBuildPlan(self)
+        return self._build_plan
 
     # ------------------------------------------------------------------
     @property
@@ -196,6 +213,88 @@ class RuntimeSignature:
 
     def __repr__(self) -> str:
         return "RuntimeSignature({})".format(self.site)
+
+
+#: build-plan field classes: fully constant (resolved once per
+#: *signature*), constant + dependency atoms only (resolved once per
+#: *instance* — dep bindings never change after spawn), and dynamic
+#: (reads the value store, so re-resolved whenever ``store.version``
+#: moves)
+FIELD_CONST = "const"
+FIELD_DEP = "dep"
+FIELD_DYNAMIC = "dynamic"
+
+
+def _classify_template(template: ValueTemplate) -> str:
+    has_dep = False
+    for atom in template.atoms:
+        if isinstance(atom, (UnknownAtom, AltAtom)):
+            return FIELD_DYNAMIC
+        if isinstance(atom, DepAtom):
+            has_dep = True
+    return FIELD_DEP if has_dep else FIELD_CONST
+
+
+class _PlanField:
+    """One field row of a build plan: classification + constant parts."""
+
+    __slots__ = ("path", "path_string", "template", "kind", "const_value",
+                 "root", "part0")
+
+    def __init__(self, path: FieldPath, path_string: str,
+                 template: ValueTemplate) -> None:
+        self.path = path
+        self.path_string = path_string
+        self.template = template
+        self.kind = _classify_template(template)
+        self.const_value: Optional[str] = (
+            "".join(str(atom.value) for atom in template.atoms)
+            if self.kind == FIELD_CONST
+            else None
+        )
+        self.root = path.root
+        self.part0 = str(path.parts[0]) if path.parts else ""
+
+
+class SignatureBuildPlan:
+    """Precomputed, shared build state for one signature (COW).
+
+    ``_spawn_successors`` replicates one :class:`RequestInstance` per
+    list element of the predecessor response — N instances that differ
+    *only* in their dep bindings.  The seed resolved every field of
+    every replica from scratch on every build attempt.  The plan hoists
+    everything replica-independent to the signature: fully-constant
+    field values are resolved here exactly once, each field's
+    resolution class is precomputed (so build attempts skip the atom
+    walk for settled fields), and the body skeleton kind plus the
+    variant frozensets are carried along.  Instances keep only their
+    dep bindings, pred context, and two small memos.
+    """
+
+    __slots__ = ("signature", "method", "body_kind", "uri_template",
+                 "uri_kind", "uri_const", "uri_path", "uri_path_string",
+                 "rows", "variants", "variants_set")
+
+    def __init__(self, runtime: RuntimeSignature) -> None:
+        request = runtime.signature.request
+        self.signature = runtime
+        self.method = request.method
+        self.body_kind = request.body_kind
+        self.uri_template = request.uri
+        self.uri_path = FieldPath("uri")
+        self.uri_path_string = self.uri_path.to_string()
+        self.uri_kind = _classify_template(request.uri)
+        self.uri_const: Optional[str] = (
+            "".join(str(atom.value) for atom in request.uri.atoms)
+            if self.uri_kind == FIELD_CONST
+            else None
+        )
+        self.rows: List[_PlanField] = [
+            _PlanField(path, path_string, template)
+            for path, path_string, template in runtime.field_rows
+        ]
+        self.variants = runtime.signature.variants
+        self.variants_set = runtime.variants_set
 
 
 class _TrieNode:
@@ -563,9 +662,20 @@ class RequestInstance:
         #: (``dep_values`` never change once the instance is queued)
         self.pending_seq = 0
         self.pending_key: Optional[Tuple] = None
+        #: COW build memos: dep-class fields resolve once per instance
+        #: (dep bindings are frozen after spawn); dynamic-class fields
+        #: are memoized per ``store.version``.  Both are invalidated by
+        #: :meth:`fill` so out-of-order callers stay correct.
+        self._dep_resolved: Dict[str, str] = {}
+        self._memo_version = -1
+        self._memo: Dict[str, Optional[str]] = {}
 
     def fill(self, path: FieldPath, value) -> None:
         self.dep_values[path.to_string()] = str(value)
+        # a new dep binding can change any field's resolution (mixed
+        # templates read dep values too) — drop the build memos
+        self._dep_resolved.clear()
+        self._memo_version = -1
 
     def dedupe_key(self) -> Tuple:
         """Identity of this instance: signature + dep bindings."""
@@ -643,7 +753,7 @@ class RequestInstance:
         (largest on ties) stands in.
         """
         variants = self.signature.signature.variants
-        if preferred is not None and preferred in set(variants):
+        if preferred is not None and preferred in self.signature.variants_set:
             return preferred
         if resolved is None:
             resolved = self._resolve_all(store)
@@ -666,9 +776,103 @@ class RequestInstance:
         }
 
     def build(
+        self,
+        store: ValueStore,
+        preferred_variant: Optional[frozenset] = None,
+        use_plan: bool = True,
+    ) -> Optional[Request]:
+        """Assemble the concrete request, or None while values missing.
+
+        ``use_plan=True`` (the default) resolves through the shared
+        :class:`SignatureBuildPlan` with per-instance memos — constant
+        fields are never re-walked, dep-bound fields resolve once per
+        instance, and store-backed fields re-resolve only after
+        ``store.version`` moves.  ``use_plan=False`` retains the seed's
+        resolve-everything-per-attempt path as the differential oracle
+        (``tests/test_learning_deferred.py`` asserts both produce
+        byte-identical requests).
+        """
+        if not use_plan:
+            return self._build_naive(store, preferred_variant)
+        plan = self.signature.build_plan
+        if self._memo_version != store.version:
+            self._memo = {}
+            self._memo_version = store.version
+        uri_string = self._resolve_planned(
+            plan.uri_kind, plan.uri_const, plan.uri_path,
+            plan.uri_path_string, plan.uri_template, store,
+        )
+        if uri_string is None:
+            return None
+        try:
+            uri = Uri.parse(uri_string)
+        except ValueError:
+            return None
+        resolved = {
+            row.path_string: self._resolve_planned(
+                row.kind, row.const_value, row.path, row.path_string,
+                row.template, store,
+            )
+            for row in plan.rows
+        }
+        variant = self.choose_variant(store, preferred_variant, resolved)
+        if variant is None:
+            return None
+        request = Request(method=plan.method, uri=uri, headers=Headers())
+        body_kind = plan.body_kind
+        if body_kind == "form":
+            request.body = _new_form()
+        elif body_kind == "json":
+            request.body = _new_json()
+        for row in plan.rows:
+            if row.path_string not in variant:
+                continue
+            value = resolved.get(row.path_string)
+            if value is None:
+                return None
+            if row.root == "header":
+                request.headers.add(row.part0, value)
+            elif row.root == "query":
+                request.uri.query.append((row.part0, value))
+            elif row.root == "body":
+                if body_kind == "form":
+                    request.body.add(row.part0, value)
+                else:
+                    row.path.assign(request, value)
+        return request
+
+    def _resolve_planned(
+        self,
+        kind: str,
+        const_value: Optional[str],
+        path: FieldPath,
+        path_string: str,
+        template: ValueTemplate,
+        store: ValueStore,
+    ) -> Optional[str]:
+        """One field through the plan: memoized by resolution class."""
+        if kind == FIELD_CONST:
+            return const_value
+        if kind == FIELD_DEP:
+            value = self._dep_resolved.get(path_string)
+            if value is None:
+                value = self.resolve_field(path, template, store, path_string)
+                if value is not None:
+                    # dep bindings are frozen after spawn, so a resolved
+                    # value never changes; an unresolved one stays cheap
+                    # to retry and is re-checked (fill() also clears)
+                    self._dep_resolved[path_string] = value
+            return value
+        if path_string in self._memo:
+            return self._memo[path_string]
+        value = self.resolve_field(path, template, store, path_string)
+        self._memo[path_string] = value
+        return value
+
+    def _build_naive(
         self, store: ValueStore, preferred_variant: Optional[frozenset] = None
     ) -> Optional[Request]:
-        """Assemble the concrete request, or None while values missing."""
+        """The seed's build: re-resolve every field each attempt."""
         uri_string = self.resolve_uri(store)
         if uri_string is None:
             return None

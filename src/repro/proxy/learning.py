@@ -18,6 +18,25 @@ wildcard resolves to the jar's current header for the target origin,
 so a prefetch built *after* a session cookie was issued matches the
 client's next request even though no client request carried the new
 cookie yet.
+
+Deferred learn pipeline
+-----------------------
+Stage timings showed run-time value learning + successor instantiation
+dominating the request path (``proxy.learn`` p99 ≈ 4,900µs against
+~30µs dispatch).  In ``learn_mode="deferred"`` (the default through
+:class:`~repro.proxy.proxy.AccelerationProxy`), :meth:`observe` on the
+request path does only the already-indexed signature match plus an O(1)
+enqueue into a bounded learn queue; the full pipeline — value
+learning, cookie tracking, successor spawning, the pending-instance
+drain — runs inside :meth:`drain_learn_queue`, a *budgeted* drain
+pumped by the proxy after the response is determined, by the
+prefetcher after each background fetch, and by the refresher/scale
+sweeper loops.  A full queue drops the observation (counted under
+``learn.queue_overflow``) rather than ever blocking the request path.
+``learn_mode="inline"`` retains the seed's learn-on-observe behavior
+as the differential oracle: ``tests/test_learning_deferred.py``
+asserts both modes produce the same ready-prefetch set once the queue
+is drained.
 """
 
 from __future__ import annotations
@@ -46,6 +65,27 @@ from repro.proxy.instances import (
 
 MAX_PENDING = 10_000
 
+#: legal values of :attr:`DynamicLearner.learn_mode`
+LEARN_MODES = ("inline", "deferred")
+
+#: default bound of the deferred learn queue (observations, not bytes)
+DEFAULT_LEARN_QUEUE_CAPACITY = 4096
+
+#: default observations processed per :meth:`drain_learn_queue` pump
+DEFAULT_LEARN_DRAIN_BUDGET = 32
+
+
+class _QueuedObservation:
+    """One request-path observation parked for the deferred drain."""
+
+    __slots__ = ("signature", "transaction", "user", "depth")
+
+    def __init__(self, signature, transaction, user, depth) -> None:
+        self.signature = signature
+        self.transaction = transaction
+        self.user = user
+        self.depth = depth
+
 
 class ReadyPrefetch:
     """A fully-resolved prefetch request handed to the prefetcher."""
@@ -72,13 +112,39 @@ class DynamicLearner:
         store: Optional[ValueStore] = None,
         max_depth: Optional[int] = None,
         static_only: bool = False,
+        learn_mode: str = "inline",
+        learn_queue_capacity: int = DEFAULT_LEARN_QUEUE_CAPACITY,
+        learn_drain_budget: Optional[int] = DEFAULT_LEARN_DRAIN_BUDGET,
     ) -> None:
+        if learn_mode not in LEARN_MODES:
+            raise ValueError(
+                "learn_mode must be one of {}, got {!r}".format(
+                    LEARN_MODES, learn_mode
+                )
+            )
         self.analysis = analysis
         self.signatures = build_runtime_signatures(analysis)
         # Fig. 6 step 1: only signatures participating in a dependency
         # are interesting; the matcher still sees all of them so that
         # ambiguous URIs resolve to the most specific signature.
         self.matcher = SignatureMatcher(self.signatures)
+        #: site → runtime signature, hoisted out of _spawn_successors
+        #: (was rebuilt O(#signatures) per predecessor observation);
+        #: anything that replaces ``self.signatures`` must rebuild it
+        #: via :meth:`_index_signatures`
+        self._by_site: Dict[str, RuntimeSignature] = {}
+        self._index_signatures()
+        #: ``"inline"`` learns on :meth:`observe` (the seed behavior,
+        #: kept as the differential oracle); ``"deferred"`` parks the
+        #: observation in the learn queue for :meth:`drain_learn_queue`
+        self.learn_mode = learn_mode
+        self.learn_queue_capacity = learn_queue_capacity
+        #: observations processed per drain pump (None = drain all)
+        self.learn_drain_budget = learn_drain_budget
+        self._learn_queue: Deque[_QueuedObservation] = deque()
+        self.queue_overflows = 0
+        self.deferred_enqueued = 0
+        self.deferred_drained = 0
         self.store = store if store is not None else ValueStore()
         #: chain-depth bound; instances beyond it are never spawned
         #: (the prefetcher would reject them anyway)
@@ -111,6 +177,10 @@ class DynamicLearner:
         self.store.add_listener(self._on_value_learned)
 
     # ------------------------------------------------------------------
+    def _index_signatures(self) -> None:
+        """(Re)build the site index over ``self.signatures``."""
+        self._by_site = {s.site: s for s in self.signatures}
+
     def jar(self, user: str) -> CookieJar:
         if user not in self._jars:
             self._jars[user] = CookieJar()
@@ -138,6 +208,44 @@ class DynamicLearner:
         """
         self.observed_count += 1
         signature = self.matcher.match(transaction.request)
+        if self.learn_mode == "deferred":
+            # request path ends here: O(1) enqueue, never blocks.  The
+            # matched signature rides along so the drain skips a second
+            # (memoized, but still non-free) dispatch.
+            span = (
+                trace.start_span(
+                    "learn", signature=signature.site if signature else ""
+                )
+                if trace is not None
+                else None
+            )
+            if len(self._learn_queue) >= self.learn_queue_capacity:
+                self.queue_overflows += 1
+                if PERF.enabled:
+                    PERF.incr("learn.queue_overflow")
+                if span is not None:
+                    trace.end_span(span, outcome="overflow")
+                return []
+            self._learn_queue.append(
+                _QueuedObservation(signature, transaction, user, depth)
+            )
+            self.deferred_enqueued += 1
+            if PERF.enabled:
+                PERF.peak("learn.queue_depth_peak", len(self._learn_queue))
+            if span is not None:
+                trace.end_span(span, outcome="enqueued")
+            return []
+        return self._process_observation(signature, transaction, user, depth, trace)
+
+    def _process_observation(
+        self,
+        signature: Optional[RuntimeSignature],
+        transaction: Transaction,
+        user: str,
+        depth: int,
+        trace: Optional[TraceContext] = None,
+    ) -> List[ReadyPrefetch]:
+        """The full Fig. 6 pipeline for one observed transaction."""
         if signature is None:
             self._track_cookies(transaction, user, signature)
             return []
@@ -173,6 +281,53 @@ class DynamicLearner:
         return ready
 
     # ------------------------------------------------------------------
+    # deferred learn queue
+    # ------------------------------------------------------------------
+    @property
+    def learn_queue_depth(self) -> int:
+        """Observations parked for the deferred drain."""
+        return len(self._learn_queue)
+
+    def drain_learn_queue(
+        self,
+        budget: Optional[int] = None,
+        trace: Optional[TraceContext] = None,
+    ) -> List[ReadyPrefetch]:
+        """Run the learn pipeline for up to ``budget`` parked observations.
+
+        ``budget=None`` uses :attr:`learn_drain_budget` (itself None =
+        drain everything).  Observations process in arrival order, so a
+        fully-drained queue yields exactly the inline-mode ready set in
+        exactly the inline-mode order.  Returns the completed prefetch
+        requests; the caller hands them to the prefetcher exactly as it
+        would inline results.
+        """
+        if not self._learn_queue:
+            return []
+        if budget is None:
+            budget = self.learn_drain_budget
+        remaining = len(self._learn_queue) if budget is None else budget
+        ready: List[ReadyPrefetch] = []
+        drained = 0
+        while self._learn_queue and remaining > 0:
+            queued = self._learn_queue.popleft()
+            remaining -= 1
+            drained += 1
+            ready.extend(
+                self._process_observation(
+                    queued.signature,
+                    queued.transaction,
+                    queued.user,
+                    queued.depth,
+                    trace,
+                )
+            )
+        self.deferred_drained += drained
+        if PERF.enabled and drained:
+            PERF.incr("learn.deferred_drained", drained)
+        return ready
+
+    # ------------------------------------------------------------------
     # learning from an observed request (successor routine)
     # ------------------------------------------------------------------
     def _learn_from_request(
@@ -204,7 +359,7 @@ class DynamicLearner:
             if len(template.atoms) == 1 and isinstance(template.atoms[0], UnknownAtom):
                 self.store.learn_tag(user, template.atoms[0].tag, value)
         variant = frozenset(present)
-        if variant in set(signature.signature.variants):
+        if variant in signature.variants_set:
             slot = (user, signature.site)
             if self.preferred_variant.get(slot) != variant:
                 self.preferred_variant[slot] = variant
@@ -246,20 +401,40 @@ class DynamicLearner:
         for edge in signature.out_edges:
             edges_by_successor.setdefault(edge.succ_site, []).append(edge)
         instances: List[RequestInstance] = []
-        by_site = {s.site: s for s in self.signatures}
+        # predecessor response parsing is shared across edges/successors:
+        # each distinct pred_path is extracted once per transaction (two
+        # edges sourcing body.items[].id reuse one walk) and the scalar
+        # context is flattened lazily, once, instead of per successor
+        extract_memo: Dict[str, List] = {}
+        context: Optional[Dict[str, List]] = None
         for succ_site, edges in edges_by_successor.items():
-            successor = by_site.get(succ_site)
+            successor = self._by_site.get(succ_site)
             if successor is None:
                 continue
             extracted: List[Tuple[FieldPath, List]] = []
             for edge in edges:
-                values = edge.pred_path.extract(response)
+                pred_key = edge.pred_path.to_string()
+                values = extract_memo.get(pred_key)
+                if values is None:
+                    values = edge.pred_path.extract(response)
+                    extract_memo[pred_key] = values
                 if values:
                     extracted.append((edge.succ_path, values))
             if not extracted:
                 continue
             replica_count = max(len(values) for _, values in extracted)
-            context = _scalar_fields(response)
+            if context is None:
+                context = _scalar_fields(response)
+            # split the context once per successor group: keys whose
+            # value list aligns 1:1 with the replicas index per replica,
+            # everything else shares its first value
+            aligned = []
+            shared = {}
+            for key, values in context.items():
+                if len(values) == replica_count:
+                    aligned.append((key, values))
+                else:
+                    shared[key] = values[0]
             for index in range(replica_count):
                 instance = RequestInstance(
                     successor, user, depth=depth + 1, trigger_site=signature.site
@@ -269,10 +444,10 @@ class DynamicLearner:
                     instance.fill(succ_path, value)
                 # predecessor context for condition policies (Fig. 9):
                 # scalar fields aligned with this replica where possible
-                instance.pred_context = {
-                    key: (values[index] if len(values) == replica_count else values[0])
-                    for key, values in context.items()
-                }
+                pred_context = dict(shared)
+                for key, values in aligned:
+                    pred_context[key] = values[index]
+                instance.pred_context = pred_context
                 instances.append(instance)
         return instances
 
@@ -425,6 +600,10 @@ class DynamicLearner:
             "wake_retries": self.wake_retries,
             "wake_keys": len(self._wake_index),
             "store_version": self.store.version,
+            "learn_queue_depth": len(self._learn_queue),
+            "deferred_enqueued": self.deferred_enqueued,
+            "deferred_drained": self.deferred_drained,
+            "queue_overflows": self.queue_overflows,
         }
         if PERF.enabled:
             data["perf"] = PERF.snapshot()

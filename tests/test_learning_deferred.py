@@ -1,0 +1,228 @@
+"""Deferred learn pipeline: differential oracle vs inline mode.
+
+The deferred pipeline (``learn_mode="deferred"``) moves the full learn
+workflow — value learning, cookie tracking, successor spawning, the
+pending-instance drain — off the request path into a budgeted queue
+drain.  Its correctness claim is purely differential: once the queue is
+drained, the ready-prefetch stream must be exactly what inline mode
+(the seed behavior, retained as the oracle) produced, observation for
+observation.  This file pins that claim:
+
+* across every registered app's real recorded session (drain pumped
+  per observation: byte-level list equality; drain deferred to the
+  end: set equality of completed prefetches);
+* under hypothesis-fuzzed drain budgets and observe/drain
+  interleavings on the synthetic feed→detail analysis;
+* and for the bounded queue's failure mode — a full queue drops the
+  observation, counts ``learn.queue_overflow``, and never blocks.
+"""
+
+import pytest
+
+from repro.analysis.pipeline import AnalysisOptions, analyze_apk
+from repro.apps import all_apps
+from repro.apps.registry import get_app
+from repro.experiments.scale import record_session_transactions
+from repro.httpmsg.wire import serialize_request
+from repro.proxy.learning import DynamicLearner
+from tests.test_proxy_learning import (
+    detail_transaction,
+    feed_transaction,
+    make_analysis,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships with the image
+    HAVE_HYPOTHESIS = False
+
+APP_NAMES = list(all_apps())
+
+
+def _key(ready):
+    """A stable identity for one completed prefetch."""
+    return (
+        ready.instance.signature.site,
+        ready.instance.user,
+        ready.request.exact_key(),
+    )
+
+
+def _keys(ready_list):
+    return [_key(r) for r in ready_list]
+
+
+def _drain_all(learner):
+    """Pump the budgeted drain until the queue is empty."""
+    ready = []
+    while learner.learn_queue_depth:
+        ready.extend(learner.drain_learn_queue())
+    return ready
+
+
+def _app_fixture(name):
+    transactions = record_session_transactions(name)
+    analysis = analyze_apk(
+        get_app(name).build_apk(), AnalysisOptions(run_slicing=False)
+    )
+    return transactions, analysis
+
+
+# ----------------------------------------------------------------------
+# oracle: the 5 real apps
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", APP_NAMES, ids=str)
+def test_deferred_drained_per_observation_equals_inline(name):
+    """Pump-after-every-observe is byte-for-byte the inline stream."""
+    transactions, analysis = _app_fixture(name)
+    inline = DynamicLearner(analysis)
+    deferred = DynamicLearner(analysis, learn_mode="deferred")
+    for transaction in transactions:
+        inline_ready = inline.observe(transaction, "u1")
+        assert deferred.observe(transaction, "u1") == []
+        deferred_ready = deferred.drain_learn_queue(budget=None)
+        assert _keys(deferred_ready) == _keys(inline_ready)
+        for a, b in zip(inline_ready, deferred_ready):
+            assert serialize_request(a.request) == serialize_request(b.request)
+    assert deferred.learn_queue_depth == 0
+    assert deferred.queue_overflows == 0
+    assert inline.pending_count == deferred.pending_count
+    assert inline.completed_count == deferred.completed_count
+
+
+@pytest.mark.parametrize("name", APP_NAMES, ids=str)
+def test_deferred_drained_at_end_equals_inline_as_set(name):
+    """Eventually-drained: the completed-prefetch set is identical."""
+    transactions, analysis = _app_fixture(name)
+    inline = DynamicLearner(analysis)
+    deferred = DynamicLearner(
+        analysis, learn_mode="deferred", learn_queue_capacity=10_000
+    )
+    inline_ready = []
+    for transaction in transactions:
+        inline_ready.extend(inline.observe(transaction, "u1"))
+        deferred.observe(transaction, "u1")
+    assert deferred.learn_queue_depth == len(transactions)
+    # repeated default-budget pumps, the way the proxy/sweeper drains a
+    # backlog — the eventual completed-prefetch stream is identical
+    deferred_ready = _drain_all(deferred)
+    assert _keys(deferred_ready) == _keys(inline_ready)
+    assert deferred.deferred_drained == len(transactions)
+
+
+def test_budgeted_drain_processes_fifo_and_stops_at_budget():
+    learner = DynamicLearner(make_analysis(), learn_mode="deferred")
+    learner.observe(detail_transaction(), "u1")  # learns _ver + cookie
+    learner.observe(feed_transaction(item_ids=("a1", "b2")), "u1")
+    learner.observe(feed_transaction(item_ids=("c3",)), "u1")
+    assert learner.learn_queue_depth == 3
+    # budget=1 processes only the oldest observation (the detail)
+    assert learner.drain_learn_queue(budget=1) == []
+    assert learner.learn_queue_depth == 2
+    ready = _drain_all(learner)
+    assert learner.learn_queue_depth == 0
+    cids = sorted(r.request.body.get("cid") for r in ready)
+    assert cids == ["a1", "b2", "c3"]
+
+
+# ----------------------------------------------------------------------
+# overflow: a full queue degrades gracefully
+# ----------------------------------------------------------------------
+def test_full_queue_drops_learn_and_counts_overflow():
+    learner = DynamicLearner(
+        make_analysis(), learn_mode="deferred", learn_queue_capacity=2
+    )
+    for index in range(5):
+        # never raises, never blocks, always returns [] on the
+        # request path regardless of queue state
+        assert learner.observe(feed_transaction(item_ids=(str(index),)), "u1") == []
+    assert learner.learn_queue_depth == 2
+    assert learner.queue_overflows == 3
+    assert learner.deferred_enqueued == 2
+    assert learner.stats()["queue_overflows"] == 3
+    # only the two admitted observations ever reach the pipeline
+    _drain_all(learner)
+    assert learner.observed_count == 5
+    assert learner.deferred_drained == 2
+    assert learner.pending_count == 2  # one instance per admitted feed
+
+
+def test_overflow_recovers_after_drain():
+    learner = DynamicLearner(
+        make_analysis(), learn_mode="deferred", learn_queue_capacity=1
+    )
+    learner.observe(detail_transaction(), "u1")
+    learner.observe(detail_transaction(), "u1")  # dropped
+    assert learner.queue_overflows == 1
+    _drain_all(learner)
+    learner.observe(feed_transaction(item_ids=("a1",)), "u1")  # admitted again
+    assert learner.learn_queue_depth == 1
+    ready = _drain_all(learner)
+    assert [r.request.body.get("cid") for r in ready] == ["a1"]
+
+
+def test_unmatched_transactions_still_update_cookies_via_drain():
+    from repro.httpmsg.headers import Headers
+    from repro.httpmsg.message import Request, Response, Transaction
+    from repro.httpmsg.uri import Uri
+
+    learner = DynamicLearner(make_analysis(), learn_mode="deferred")
+    headers = Headers()
+    headers.add("Set-Cookie", "tok=xyz")
+    other = Transaction(
+        Request("GET", Uri.parse("https://elsewhere.com/x")),
+        Response(200, headers),
+    )
+    assert learner.observe(other, "u1") == []
+    assert learner.jar("u1").cookie_header("https://elsewhere.com") == ""
+    _drain_all(learner)
+    assert learner.jar("u1").cookie_header("https://elsewhere.com") == "tok=xyz"
+
+
+# ----------------------------------------------------------------------
+# hypothesis: fuzz budgets and observe/drain interleavings
+# ----------------------------------------------------------------------
+if HAVE_HYPOTHESIS:
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        plan=st.lists(
+            st.tuples(
+                st.sampled_from(["feed", "detail", "other_user_feed"]),
+                st.integers(min_value=0, max_value=3),  # drain budget after
+                st.booleans(),  # drain at all after this observation?
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        item_seed=st.integers(min_value=0, max_value=99),
+    )
+    def test_fuzzed_interleavings_match_inline(plan, item_seed):
+        analysis = make_analysis()
+        inline = DynamicLearner(analysis)
+        deferred = DynamicLearner(analysis, learn_mode="deferred")
+        inline_ready = []
+        deferred_ready = []
+        for step, (kind, budget, do_drain) in enumerate(plan):
+            item = "i{}-{}".format(item_seed, step)
+            if kind == "feed":
+                transaction = feed_transaction(item_ids=(item, item + "b"))
+                user = "u1"
+            elif kind == "detail":
+                transaction = detail_transaction(cid=item)
+                user = "u1"
+            else:
+                transaction = feed_transaction(item_ids=(item,))
+                user = "u2"
+            inline_ready.extend(inline.observe(transaction, user))
+            assert deferred.observe(transaction, user) == []
+            if do_drain:
+                deferred_ready.extend(deferred.drain_learn_queue(budget=budget))
+        deferred_ready.extend(_drain_all(deferred))
+        assert deferred.learn_queue_depth == 0
+        assert set(_keys(deferred_ready)) == set(_keys(inline_ready))
+        assert deferred.pending_count == inline.pending_count
+        assert deferred.completed_count == inline.completed_count

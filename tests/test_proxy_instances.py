@@ -251,3 +251,78 @@ def test_dedupe_key_reflects_bindings():
     c.fill(FieldPath.parse("body.cid"), "2")
     assert a.dedupe_key() == b.dedupe_key()
     assert a.dedupe_key() != c.dedupe_key()
+
+
+# -- SignatureBuildPlan (copy-on-write instantiation) -------------------------
+def test_build_plan_shared_across_replicas():
+    signature = successor_signature()
+    instances = [RequestInstance(signature, "u1") for _ in range(5)]
+    plans = {id(i.signature.build_plan) for i in instances}
+    assert len(plans) == 1  # one plan per signature, not per replica
+    assert signature.build_plan is signature.build_plan
+
+
+def test_plan_build_matches_naive_oracle_complete():
+    from repro.httpmsg.wire import serialize_request
+
+    signature = successor_signature()
+    store = ValueStore()
+    store.learn_tag("u1", "env:config:api_host", "https://api.wish.com")
+    store.learn_tag("u1", "env:cookie", "bsid=9")
+    for cid in ("09cf", "a1", "zz"):
+        instance = RequestInstance(signature, "u1")
+        instance.fill(FieldPath.parse("body.cid"), cid)
+        planned = instance.build(store)
+        naive = instance.build(store, use_plan=False)
+        assert planned is not None and naive is not None
+        assert serialize_request(planned) == serialize_request(naive)
+
+
+def test_plan_build_matches_naive_oracle_incomplete():
+    signature = successor_signature()
+    instance = RequestInstance(signature, "u1")
+    instance.fill(FieldPath.parse("body.cid"), "x")
+    store = ValueStore()  # host + cookie unknown: both paths must fail
+    assert instance.build(store) is None
+    assert instance.build(store, use_plan=False) is None
+
+
+def test_plan_memo_tracks_store_version():
+    signature = successor_signature()
+    instance = RequestInstance(signature, "u1")
+    instance.fill(FieldPath.parse("body.cid"), "x")
+    store = ValueStore()
+    store.learn_tag("u1", "env:config:api_host", "https://a.com")
+    store.learn_tag("u1", "env:cookie", "bsid=1")
+    assert instance.build(store).headers.get("Cookie") == "bsid=1"
+    # a re-learned value must not be served from a stale memo
+    store.learn_tag("u1", "env:cookie", "bsid=2")
+    assert instance.build(store).headers.get("Cookie") == "bsid=2"
+
+
+def test_plan_variant_choice_matches_naive():
+    from repro.httpmsg.wire import serialize_request
+
+    fields = {
+        FieldPath.parse("body.a"): ValueTemplate.const("1"),
+        FieldPath.parse("body.b"): ValueTemplate.const("2"),
+    }
+    request = RequestTemplate(
+        method="POST",
+        uri=ValueTemplate([ConstAtom("https://a.com/x")]),
+        fields=fields,
+        body_kind="form",
+    )
+    signature = TransactionSignature(
+        "s#0",
+        request,
+        ResponseTemplate(),
+        variants=[frozenset({"body.a", "body.b"}), frozenset({"body.a"})],
+    )
+    runtime = RuntimeSignature(signature)
+    store = ValueStore()
+    for preferred in (None, frozenset({"body.a"})):
+        instance = RequestInstance(runtime, "u1")
+        planned = instance.build(store, preferred_variant=preferred)
+        naive = instance.build(store, preferred_variant=preferred, use_plan=False)
+        assert serialize_request(planned) == serialize_request(naive)
