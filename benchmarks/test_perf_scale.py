@@ -69,19 +69,23 @@ def test_perf_scale(benchmark):
         rate_per_user=RATE,
         seed=0,
         max_entries_per_user=MAX_ENTRIES_PER_USER,
+        telemetry=True,
     )
 
     banner("Serving core at scale: per-request cost vs user population")
     print(
-        "{:>8} {:>9} {:>9} {:>12} {:>10} {:>8} {:>8} {:>9} {:>9}".format(
+        "{:>8} {:>9} {:>9} {:>12} {:>10} {:>8} {:>8} {:>9} {:>9} "
+        "{:>8} {:>7} {:>6}".format(
             "users", "requests", "wall_s", "us/request", "events/s",
             "p50_ms", "p99_ms", "peak_ent", "rss_mb",
+            "w_p99", "w_hit%", "w_ovf",
         )
     )
     for row in result["rows"]:
+        readings = (row.get("live") or {}).get("readings") or {}
         print(
             "{:>8} {:>9} {:>9.3f} {:>12.1f} {:>10.0f} {:>8.1f} {:>8.1f} "
-            "{:>9} {:>9.1f}".format(
+            "{:>9} {:>9.1f} {:>8.1f} {:>7.2f} {:>6}".format(
                 row["users"],
                 row["requests"],
                 row["wall_s"],
@@ -91,6 +95,9 @@ def test_perf_scale(benchmark):
                 row["latency_p99_ms"],
                 row["peak_cache_entries"],
                 row["peak_rss_bytes"] / 1e6,
+                readings.get("request_p99_ms", float("nan")),
+                100.0 * readings.get("hit_rate", float("nan")),
+                readings.get("overflow", 0),
             )
         )
     derived = result["derived"]
@@ -113,6 +120,13 @@ def test_perf_scale(benchmark):
     # population.  2x is a loose ceiling over run-to-run noise; the
     # measured ratio is ~1x
     assert derived["per_request_cost_ratio"] < 2.0
+
+    # the live telemetry plane rode along on every cell: readings
+    # exist and the windowed request count never exceeds the run total
+    for row in rows.values():
+        readings = row["live"]["readings"]
+        assert 0 < readings["requests"] <= row["requests"]
+        assert readings["request_p99_ms"] > 0
 
     # the per-user bound held: no cell's cache outgrew users * bound
     for row in rows.values():

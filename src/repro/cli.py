@@ -199,6 +199,26 @@ def _command_bench(args) -> int:
     return 0 if result["differential"]["mismatches"] == 0 else 1
 
 
+def _print_heartbeat(shard, payload, tracker=None) -> None:
+    """One mid-run heartbeat line (stderr; stdout keeps the tables)."""
+    readings = payload.get("readings") or {}
+    lag = ""
+    if tracker is not None and tracker.lagging:
+        lag = "  LAGGING={}".format(sorted(tracker.lagging))
+    print(
+        "hb shard={} t={:.2f}s requests={} queue={} p99={:.0f}ms hit={:.2f}%{}".format(
+            "-" if shard is None else shard,
+            float(payload.get("sim_now") or 0.0),
+            payload.get("requests"),
+            payload.get("queue_depth"),
+            float(readings.get("request_p99_ms") or 0.0),
+            100.0 * float(readings.get("hit_rate") or 0.0),
+            lag,
+        ),
+        file=sys.stderr,
+    )
+
+
 def _command_scale(args) -> int:
     from repro.experiments.scale import (
         format_strategy_table,
@@ -245,6 +265,48 @@ def _command_scale(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.heartbeat_interval is not None and args.heartbeat_interval <= 0:
+        print("scale: --heartbeat-interval must be positive", file=sys.stderr)
+        return 2
+    if args.slo_report and args.slo is None:
+        print("scale: --slo-report requires --slo", file=sys.stderr)
+        return 2
+    if args.compare_strategies and (
+        args.slo is not None or args.telemetry or args.heartbeat_interval
+    ):
+        print(
+            "scale: the live telemetry plane (--slo/--telemetry/"
+            "--heartbeat-interval) cannot be combined with "
+            "--compare-strategies",
+            file=sys.stderr,
+        )
+        return 2
+    slo_config = None
+    if args.slo is not None:
+        from repro.metrics.slo import load_slo_config
+
+        try:
+            slo_config = load_slo_config(args.slo)
+        except (OSError, ValueError) as error:
+            print("scale: --slo: {}".format(error), file=sys.stderr)
+            return 2
+    heartbeat_interval = args.heartbeat_interval
+    if heartbeat_interval is None and slo_config is not None and args.workers > 1:
+        # --slo on a fleet implies liveness reporting: that is how the
+        # supervisor sees per-shard windowed p99/hit-rate mid-run
+        heartbeat_interval = 1.0
+    telemetry_on = (
+        args.telemetry or slo_config is not None or heartbeat_interval is not None
+    )
+    telemetry_kwargs = dict(
+        warm_start=args.warm_start,
+        learn_queue_capacity=args.learn_queue_capacity,
+        learn_drain_budget=args.learn_drain_budget,
+        telemetry=args.telemetry,
+        slo_config=slo_config,
+        heartbeat_interval=heartbeat_interval,
+        backpressure=not args.no_backpressure,
+    )
     policy_kwargs = dict(
         max_entries_per_user=args.max_entries_per_user,
         max_entries_total=args.max_entries_total,
@@ -296,7 +358,13 @@ def _command_scale(args) -> int:
                         trace_seed=args.trace_seed,
                         strategy=args.strategy,
                         worker_timeout=args.worker_timeout,
-                        prom_path=args.prom,
+                        prom_path=args.prom_out or args.prom,
+                        heartbeat_log=(
+                            _print_heartbeat
+                            if heartbeat_interval is not None
+                            else None
+                        ),
+                        **telemetry_kwargs,
                         **policy_kwargs,
                     )
                 )
@@ -330,6 +398,13 @@ def _command_scale(args) -> int:
             trace_sample=args.trace_sample,
             trace_seed=args.trace_seed,
             strategy=args.strategy,
+            heartbeat_sink=(
+                (lambda payload: _print_heartbeat(payload.get("shard"), payload))
+                if heartbeat_interval is not None
+                else None
+            ),
+            shard=0 if heartbeat_interval is not None else None,
+            **telemetry_kwargs,
             **policy_kwargs,
         )
     header = (
@@ -375,6 +450,91 @@ def _command_scale(args) -> int:
                     row["requests_per_wall_s"],
                 )
             )
+    if telemetry_on:
+        for row in result["rows"]:
+            live = row.get("live") or {}
+            readings = live.get("readings") or {}
+            print(
+                "live[{} users]: window={:.0f}s rate={:.0f}/s p50={:.1f}ms "
+                "p99={:.1f}ms hit={:.2f}% overflow={:.0f} wasted={:.0f} "
+                "ticks={} heartbeats={} alerts={}".format(
+                    row["users"],
+                    readings.get("window_s", 0.0),
+                    readings.get("request_rate", 0.0),
+                    readings.get("request_p50_ms", 0.0),
+                    readings.get("request_p99_ms", 0.0),
+                    100.0 * readings.get("hit_rate", 0.0),
+                    readings.get("overflow", 0.0),
+                    readings.get("wasted", 0.0),
+                    live.get("ticks", 0),
+                    live.get("heartbeats_sent", 0),
+                    live.get("alerts", 0),
+                )
+            )
+            hb = row.get("heartbeats")
+            if hb:
+                print(
+                    "heartbeats[{} users]: received={} max_skew={:.2f}s "
+                    "lagging={}".format(
+                        row["users"],
+                        hb["received"],
+                        hb["max_skew_s"],
+                        hb["lagging_shards"] or "none",
+                    )
+                )
+            bp = row.get("backpressure")
+            if bp:
+                print(
+                    "backpressure[{} users]: budget_grow={} budget_shrink={} "
+                    "admission_tighten={} admission_relax={} "
+                    "drain_budgets={}".format(
+                        row["users"],
+                        bp["budget_grow"],
+                        bp["budget_shrink"],
+                        bp["admission_tighten"],
+                        bp["admission_relax"],
+                        bp["drain_budgets"],
+                    )
+                )
+    slo_passed = True
+    if slo_config is not None:
+        for row in result["rows"]:
+            report = row.get("slo") or {}
+            for objective in report.get("objectives", []):
+                print(
+                    "slo[{} users] {:<16} burn_slow={:.2f} burn_fast={:.2f} "
+                    "bad/total={:.0f}/{:.0f} {}".format(
+                        row["users"],
+                        objective["objective"],
+                        objective["burn_slow"],
+                        objective["burn_fast"],
+                        objective["bad"],
+                        objective["total"],
+                        "VIOLATED" if objective["violated"] else "ok",
+                    )
+                )
+            if not report.get("passed", True):
+                slo_passed = False
+        print("slo verdict: {}".format("PASS" if slo_passed else "FAIL"))
+        if args.slo_report:
+            slo_report = {
+                "passed": slo_passed,
+                "config": args.slo,
+                "cells": [
+                    {
+                        "users": row["users"],
+                        "workers": row.get("workers", args.workers),
+                        "slo": row.get("slo"),
+                        "live_readings": (row.get("live") or {}).get("readings"),
+                        "backpressure": row.get("backpressure"),
+                    }
+                    for row in result["rows"]
+                ],
+            }
+            with open(args.slo_report, "w") as handle:
+                json.dump(slo_report, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print("wrote SLO report to {}".format(args.slo_report))
     tracing = args.trace is not None or args.trace_sample is not None
     if tracing:
         last = result["rows"][-1]
@@ -388,20 +548,27 @@ def _command_scale(args) -> int:
                         trace_stats["exported"], trace_stats["path"]
                     )
                 )
-    if args.prom:
+    if args.prom or args.prom_out:
         if args.workers == 1:
             from repro.metrics.perf import PERF
 
-            with open(args.prom, "w") as handle:
-                handle.write(PERF.registry.render_prometheus())
+            if args.prom:
+                with open(args.prom, "w") as handle:
+                    handle.write(PERF.registry.render_prometheus())
+            if args.prom_out:
+                # atomic: scrapers tailing the file never see a torn dump
+                PERF.registry.dump_prometheus(args.prom_out)
         # workers > 1: run_fleet already wrote the folded registry
-        print("wrote Prometheus metrics to {}".format(args.prom))
+        # (atomically) to --prom-out or --prom
+        for path in (args.prom, args.prom_out):
+            if path and (args.workers == 1 or path == (args.prom_out or args.prom)):
+                print("wrote Prometheus metrics to {}".format(path))
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(result, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print("wrote trajectory to {}".format(args.output))
-    return 0
+    return 0 if slo_passed else 1
 
 
 def _print_stage_table(stage_latency) -> None:
@@ -814,6 +981,51 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument(
         "--prom", default=None, metavar="FILE",
         help="write a Prometheus text-format metrics dump after the sweep",
+    )
+    scale.add_argument(
+        "--prom-out", default=None, metavar="FILE",
+        help="like --prom but atomic (tmp file + rename): scrapers never "
+             "observe a torn dump",
+    )
+    scale.add_argument(
+        "--warm-start", action="store_true",
+        help="start every session past its first request so dependency "
+             "prefetching is armed from t=0",
+    )
+    scale.add_argument(
+        "--learn-queue-capacity", type=int, default=None, metavar="N",
+        help="bound the deferred learn queue (overflow drops + counter)",
+    )
+    scale.add_argument(
+        "--learn-drain-budget", type=int, default=None, metavar="N",
+        help="max learn observations drained per request pump",
+    )
+    scale.add_argument(
+        "--telemetry", action="store_true",
+        help="arm the live telemetry plane: rolling-window rates and "
+             "percentiles sampled every 0.5 virtual seconds",
+    )
+    scale.add_argument(
+        "--slo", nargs="?", const="benchmarks/slo.json", default=None,
+        metavar="FILE",
+        help="evaluate SLO burn rates per window against FILE (default: "
+             "benchmarks/slo.json); a violated objective makes the "
+             "command exit 1",
+    )
+    scale.add_argument(
+        "--slo-report", default=None, metavar="FILE",
+        help="write the end-of-run SLO verdict as JSON (requires --slo)",
+    )
+    scale.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="ship windowed snapshots to the supervisor every SECONDS of "
+             "virtual time (default: 1.0 when --slo is set with "
+             "--workers > 1, else off)",
+    )
+    scale.add_argument(
+        "--no-backpressure", action="store_true",
+        help="disable the closed loop that grows learn drain budgets on "
+             "overflow and tightens admission on sustained hit-rate burn",
     )
     scale.add_argument(
         "--workers", type=int, default=1,

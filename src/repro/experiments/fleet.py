@@ -67,8 +67,10 @@ from repro.experiments.scale import (
     run_scale,
     stage_latency_from_registry,
 )
+from repro.metrics.live import LiveWindows, standard_readings
 from repro.metrics.perf import PERF
 from repro.metrics.registry import MetricRegistry
+from repro.metrics.slo import SloEngine
 from repro.metrics.stats import percentile
 from repro.metrics.trace import TRACER
 
@@ -238,6 +240,15 @@ def _fleet_worker(spec: Dict[str, object], barrier, results) -> None:
             # secondary victim: exit clean so diagnosis blames the
             # shard that actually broke, not this one
             raise SystemExit(0)
+        heartbeat_interval = spec.get("heartbeat_interval")
+        heartbeat_sink = None
+        if heartbeat_interval is not None:
+            # heartbeats piggyback on the one existing supervisor
+            # channel: compact ("hb", shard, payload) messages between
+            # the serve start and the final ("ok", shard, payload)
+            def heartbeat_sink(payload):
+                results.put(("hb", shard, payload))
+
         row = run_scale(
             users=int(spec["users"]),
             duration=float(spec["duration"]),
@@ -252,6 +263,12 @@ def _fleet_worker(spec: Dict[str, object], barrier, results) -> None:
             warm_start=bool(spec["warm_start"]),
             arrival_schedule=schedule,
             collect_latencies=True,
+            telemetry=bool(spec.get("telemetry")),
+            slo_config=spec.get("slo_config"),
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_sink=heartbeat_sink,
+            shard=shard,
+            backpressure=bool(spec.get("backpressure", True)),
             _deployment=deployment,
             **spec["deploy_kwargs"],
         )
@@ -277,7 +294,96 @@ def _fleet_worker(spec: Dict[str, object], barrier, results) -> None:
 # ======================================================================
 # supervisor
 # ======================================================================
-def _drain_queue(results, collected: Dict[int, Dict], errors: Dict[int, str]) -> None:
+class HeartbeatTracker:
+    """Supervisor-side fleet liveness state, fed by ``hb`` messages.
+
+    Each heartbeat carries one shard's virtual clock, completed-request
+    count, learn-queue depth, and windowed readings.  The tracker keeps
+    the latest per shard, measures **skew** (the spread between the
+    fastest and slowest shard's virtual clocks whenever every shard has
+    reported), and flags **lagging** shards — a shard whose virtual
+    clock trails the leader by more than ``lag_factor`` heartbeat
+    intervals, or that has never heartbeated while the leader has sent
+    several.  That surfaces a stuck worker *while serving*, long before
+    the supervisor's ``worker_timeout`` turns it into a
+    :class:`FleetWorkerError`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        interval_s: float,
+        log=None,
+        lag_factor: float = 2.0,
+    ) -> None:
+        self.workers = workers
+        self.interval_s = interval_s
+        self.log = log
+        self.lag_factor = lag_factor
+        self.per_shard: Dict[int, Dict[str, object]] = {}
+        self.received = 0
+        self.max_skew_s = 0.0
+        self.lagging: set = set()
+
+    def record(self, shard: int, payload: Dict[str, object]) -> None:
+        entry = self.per_shard.setdefault(shard, {"count": 0})
+        entry["count"] = int(entry["count"]) + 1
+        entry["sim_now"] = payload.get("sim_now")
+        entry["requests"] = payload.get("requests")
+        entry["queue_depth"] = payload.get("queue_depth")
+        entry["alerts"] = payload.get("alerts")
+        entry["readings"] = payload.get("readings")
+        self.received += 1
+        self._update_lag()
+        if self.log is not None:
+            self.log(shard, payload, self)
+
+    def _update_lag(self) -> None:
+        clocks = {
+            shard: float(entry["sim_now"])
+            for shard, entry in self.per_shard.items()
+            if entry.get("sim_now") is not None
+        }
+        if not clocks:
+            return
+        lead = max(clocks.values())
+        if len(clocks) == self.workers and len(clocks) > 1:
+            skew = lead - min(clocks.values())
+            if skew > self.max_skew_s:
+                self.max_skew_s = skew
+        # recomputed from the current clocks, never latched: a shard
+        # that trailed transiently (host scheduling, not a stuck
+        # worker) drops off the list as soon as it catches back up
+        threshold = self.lag_factor * self.interval_s
+        lagging: set = set()
+        for shard in range(self.workers):
+            clock = clocks.get(shard)
+            if clock is not None and lead - clock > threshold:
+                lagging.add(shard)
+            elif clock is None and lead > threshold:
+                # never heartbeated while the leader moved well past
+                # the first interval: silent from the start
+                lagging.add(shard)
+        self.lagging = lagging
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "interval_s": self.interval_s,
+            "received": self.received,
+            "max_skew_s": self.max_skew_s,
+            "lagging_shards": sorted(self.lagging),
+            "per_shard": [
+                self.per_shard.get(shard) for shard in range(self.workers)
+            ],
+        }
+
+
+def _drain_queue(
+    results,
+    collected: Dict[int, Dict],
+    errors: Dict[int, str],
+    heartbeats: Optional[HeartbeatTracker] = None,
+) -> None:
     """Pull whatever the result queue has right now (post-failure sweep)."""
     while True:
         try:
@@ -286,6 +392,9 @@ def _drain_queue(results, collected: Dict[int, Dict], errors: Dict[int, str]) ->
             return
         if kind == "ok":
             collected[shard] = payload
+        elif kind == "hb":
+            if heartbeats is not None:
+                heartbeats.record(shard, payload)
         else:
             errors[shard] = payload
 
@@ -383,6 +492,13 @@ def run_fleet(
     estimate_expiration: bool = False,
     warm_start: bool = False,
     learn_mode: str = "deferred",
+    learn_queue_capacity: Optional[int] = None,
+    learn_drain_budget: Optional[int] = None,
+    telemetry: bool = False,
+    slo_config: Optional[Dict[str, object]] = None,
+    heartbeat_interval: Optional[float] = None,
+    heartbeat_log=None,
+    backpressure: bool = True,
     replicas: int = DEFAULT_REPLICAS,
     worker_timeout: float = DEFAULT_WORKER_TIMEOUT_S,
     prom_path: Optional[str] = None,
@@ -411,6 +527,19 @@ def run_fleet(
     :class:`FleetWorkerError` naming the lost shard's user slice.
     ``inject_failure`` (``{"shard": s, "mode": "crash"|"raise"|"hang"}``)
     exists for the robustness tests.
+
+    The live telemetry plane (``telemetry`` / ``slo_config`` /
+    ``heartbeat_interval``, see :func:`run_scale`) runs *per shard*;
+    with ``heartbeat_interval`` set, every worker additionally ships
+    compact windowed snapshots over the result queue mid-run, which the
+    supervisor folds into a :class:`HeartbeatTracker` (per-shard
+    liveness, virtual-clock skew, lagging-shard flags; ``heartbeat_log``
+    observes each one as it arrives).  The aggregate row then carries
+    ``live`` (windows merged across shards with
+    :meth:`LiveWindows.merge` — the same bucket-aligned fold-back
+    semantics as ``registry.merge``), ``slo`` (the merged-window
+    verdict plus per-shard passes), ``backpressure`` (summed actuation
+    counters), and ``heartbeats`` (the tracker summary).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -434,7 +563,17 @@ def run_fleet(
         "admission_threshold": admission_threshold,
         "strategy": strategy,
         "learn_mode": learn_mode,
+        "learn_queue_capacity": learn_queue_capacity,
+        "learn_drain_budget": learn_drain_budget,
     }
+    telemetry_on = (
+        telemetry or slo_config is not None or heartbeat_interval is not None
+    )
+    heartbeats: Optional[HeartbeatTracker] = None
+    if heartbeat_interval is not None:
+        heartbeats = HeartbeatTracker(
+            workers, heartbeat_interval, log=heartbeat_log
+        )
 
     # the plan deployment provides per-app step counts for the schedule
     # draw; with one worker it also serves the workload inline
@@ -456,6 +595,11 @@ def run_fleet(
     shard_schedules = partition_schedule(schedule, assignment, workers)
 
     if workers == 1:
+        inline_sink = None
+        if heartbeats is not None:
+            def inline_sink(payload):
+                heartbeats.record(0, payload)
+
         row = run_scale(
             users=users,
             duration=duration,
@@ -470,6 +614,12 @@ def run_fleet(
             warm_start=warm_start,
             arrival_schedule=shard_schedules[0],
             collect_latencies=True,
+            telemetry=telemetry,
+            slo_config=slo_config,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_sink=inline_sink,
+            shard=0,
+            backpressure=backpressure,
             _deployment=plan,
             **deploy_kwargs,
         )
@@ -502,6 +652,11 @@ def run_fleet(
             max_entries_total=max_entries_total,
             worker_timeout=worker_timeout,
             inject_failure=inject_failure,
+            telemetry=telemetry,
+            slo_config=slo_config,
+            heartbeat_interval=heartbeat_interval,
+            backpressure=backpressure,
+            heartbeats=heartbeats,
         )
 
     return _aggregate(
@@ -524,6 +679,8 @@ def run_fleet(
         prom_path=prom_path,
         deploy_kwargs=deploy_kwargs,
         schedule_events=len(schedule),
+        slo_config=slo_config,
+        heartbeats=heartbeats,
     )
 
 
@@ -547,6 +704,11 @@ def _run_worker_pool(
     max_entries_total: Optional[int],
     worker_timeout: float,
     inject_failure: Optional[Dict[str, object]],
+    telemetry: bool = False,
+    slo_config: Optional[Dict[str, object]] = None,
+    heartbeat_interval: Optional[float] = None,
+    backpressure: bool = True,
+    heartbeats: Optional[HeartbeatTracker] = None,
 ) -> Tuple[Dict[int, Dict], float]:
     """Spawn, synchronize, and collect the worker fleet (workers > 1)."""
     try:
@@ -586,6 +748,10 @@ def _run_worker_pool(
                 "worker_timeout": worker_timeout,
                 "cache_env": cache_env,
                 "inject_failure": inject_failure,
+                "telemetry": telemetry,
+                "slo_config": slo_config,
+                "heartbeat_interval": heartbeat_interval,
+                "backpressure": backpressure,
             }
         )
 
@@ -608,7 +774,7 @@ def _run_worker_pool(
         try:
             barrier.wait(worker_timeout)
         except threading.BrokenBarrierError:
-            _drain_queue(results, collected, errors)
+            _drain_queue(results, collected, errors, heartbeats)
             _raise_worker_failure(errors, procs, collected, members, "startup")
         wall_started = time.perf_counter()
         deadline = wall_started + worker_timeout
@@ -621,7 +787,7 @@ def _run_worker_pool(
                     for shard, proc in enumerate(procs)
                 )
                 if crashed_silently or time.perf_counter() > deadline:
-                    _drain_queue(results, collected, errors)
+                    _drain_queue(results, collected, errors, heartbeats)
                     if len(collected) == workers:
                         break
                     _raise_worker_failure(
@@ -630,11 +796,18 @@ def _run_worker_pool(
                 continue
             if kind == "ok":
                 collected[shard] = payload
+            elif kind == "hb":
+                # mid-run liveness: fold the heartbeat immediately so a
+                # lagging shard surfaces while the fleet is still serving
+                if heartbeats is not None:
+                    heartbeats.record(shard, payload)
             else:
                 errors[shard] = payload
-                _drain_queue(results, collected, errors)
+                _drain_queue(results, collected, errors, heartbeats)
                 _raise_worker_failure(errors, procs, collected, members, "serve")
         wall_s = time.perf_counter() - wall_started
+        # heartbeats racing the final ok messages may still sit queued
+        _drain_queue(results, collected, errors, heartbeats)
     finally:
         stop_monitor.set()
         for proc in procs:
@@ -665,6 +838,8 @@ def _aggregate(
     prom_path: Optional[str],
     deploy_kwargs: Dict[str, object],
     schedule_events: int,
+    slo_config: Optional[Dict[str, object]] = None,
+    heartbeats: Optional[HeartbeatTracker] = None,
 ) -> Dict[str, object]:
     """Fold worker payloads into one run_scale-shaped aggregate row."""
     rows = [payloads[shard]["row"] for shard in range(workers)]
@@ -741,9 +916,62 @@ def _aggregate(
             trace_stats["exported"] = TRACER.export_jsonl(trace_path)
             trace_stats["path"] = trace_path
 
+    # ---- live telemetry plane fold-back -----------------------------
+    # Bucket indices are absolute (int(now // width)), so every shard's
+    # windows share one virtual-time grid and merge bucket-wise exactly
+    # like registry.merge — order-independent and associative.
+    live_rows = [row.get("live") for row in rows]
+    live_agg: Optional[Dict[str, object]] = None
+    slo_agg: Optional[Dict[str, object]] = None
+    bp_rows = [row.get("backpressure") for row in rows]
+    bp_agg: Optional[Dict[str, object]] = None
+    if any(live_rows):
+        present = [live for live in live_rows if live]
+        windows = LiveWindows.from_snapshot(present[0]["snapshot"])
+        for live in present[1:]:
+            windows.merge(live["snapshot"])
+        live_now = max(float(live["readings"]["sim_now"]) for live in present)
+        live_agg = {
+            "ticks": sum(int(live["ticks"]) for live in present),
+            "heartbeats_sent": sum(int(live["heartbeats_sent"]) for live in present),
+            "alerts": sum(int(live["alerts"]) for live in present),
+            "readings": standard_readings(windows, live_now),
+            "snapshot": windows.snapshot(),
+        }
+        if slo_config is not None:
+            # the fleet verdict re-runs the engine over the MERGED
+            # windows (burn rates over fleet-wide bad/total), while
+            # alert counts and per-shard passes come from the shards —
+            # the supervisor never saw the mid-run transitions
+            shard_reports = [row.get("slo") for row in rows]
+            slo_agg = SloEngine(slo_config).report(windows, live_now)
+            slo_agg["alerts"] = sum(
+                int((report or {}).get("alerts", 0)) for report in shard_reports
+            )
+            slo_agg["shard_passed"] = [
+                bool((report or {}).get("passed", True))
+                for report in shard_reports
+            ]
+            slo_agg["passed"] = bool(slo_agg["passed"]) and all(
+                slo_agg["shard_passed"]
+            )
+    if any(bp_rows):
+        bp_agg = {
+            key: sum(int((stats or {}).get(key, 0)) for stats in bp_rows)
+            for key in (
+                "budget_grow",
+                "budget_shrink",
+                "admission_tighten",
+                "admission_relax",
+            )
+        }
+        for key in ("drain_budgets", "base_budgets"):
+            bp_agg[key] = [
+                value for stats in bp_rows for value in (stats or {}).get(key, [])
+            ]
+
     if prom_path is not None:
-        with open(prom_path, "w") as handle:
-            handle.write(merged.render_prometheus())
+        merged.dump_prometheus(prom_path)
 
     aggregate: Dict[str, object] = {
         "users": users,
@@ -794,6 +1022,10 @@ def _aggregate(
         "stage_latency_us": stage_latency_from_registry(merged),
         "miss_causes": miss_causes_from_counters(merged.counters),
         "trace": trace_stats,
+        "live": live_agg,
+        "slo": slo_agg,
+        "backpressure": bp_agg,
+        "heartbeats": heartbeats.summary() if heartbeats is not None else None,
         "fleet": {
             "replicas": replicas,
             "hash": "blake2b-64",

@@ -46,7 +46,7 @@ baseline the paper's claim is measured against).
 from __future__ import annotations
 
 import time
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.analysis.model import AnalysisResult
 from repro.analysis.pipeline import AnalysisOptions, analyze_apk
@@ -59,7 +59,9 @@ from repro.metrics.catalog import (
     SPAN_WALL_SECONDS,
     STAGE_SECONDS,
 )
+from repro.metrics.live import DEFAULT_WINDOW_S, LiveTelemetry, LiveWindows
 from repro.metrics.perf import PERF, rss_peak_bytes
+from repro.metrics.slo import BackpressureController, SloEngine
 from repro.metrics.stats import percentile
 from repro.metrics.trace import TRACER
 from repro.netsim.link import Link
@@ -218,6 +220,8 @@ class _ScaleDeployment:
         admission_threshold: Optional[float] = None,
         strategy: str = "appx",
         learn_mode: str = "deferred",
+        learn_queue_capacity: Optional[int] = None,
+        learn_drain_budget: Optional[int] = None,
     ) -> None:
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -263,6 +267,12 @@ class _ScaleDeployment:
             proxy.prefetcher.lazy_drain = lazy_drain
             if admission_threshold is not None:
                 proxy.config.admission_threshold = admission_threshold
+            # deferred-learn knobs: a forced-small queue capacity is the
+            # overflow-burst scenario the SLO/backpressure tests drive
+            if learn_queue_capacity is not None:
+                proxy.learner.learn_queue_capacity = learn_queue_capacity
+            if learn_drain_budget is not None:
+                proxy.learner.learn_drain_budget = learn_drain_budget
             if strategy != "appx":
                 # non-appx strategies serve the identical workload with
                 # signature-driven prefetching off; cache lookups still
@@ -440,6 +450,15 @@ def run_scale(
     arrival_schedule: Optional[ArrivalSchedule] = None,
     collect_latencies: bool = False,
     learn_mode: str = "deferred",
+    learn_queue_capacity: Optional[int] = None,
+    learn_drain_budget: Optional[int] = None,
+    telemetry: bool = False,
+    telemetry_interval: float = 0.5,
+    slo_config: Optional[Dict[str, object]] = None,
+    heartbeat_interval: Optional[float] = None,
+    heartbeat_sink: Optional[Callable[[Dict[str, object]], None]] = None,
+    shard: Optional[int] = None,
+    backpressure: bool = True,
     _deployment: Optional[_ScaleDeployment] = None,
 ) -> Dict[str, object]:
     """Serve an open-loop Poisson workload; returns the metrics row.
@@ -469,6 +488,20 @@ def run_scale(
     ``collect_latencies`` attaches the raw per-request virtual
     latencies to the row under ``"latencies_s"`` so a fleet supervisor
     can compute exact aggregate percentiles across shards.
+
+    The **live telemetry plane** (:mod:`repro.metrics.live`) is armed
+    by ``telemetry=True``, by an SLO config (``slo_config``, the
+    parsed ``benchmarks/slo.json``), or by ``heartbeat_interval``:
+    a simulator process ticks every ``telemetry_interval`` virtual
+    seconds, maintaining rolling windows, evaluating SLO burn rates
+    (alerts land in the trace ring as ``kind=alert``), driving the
+    overflow/hit-rate backpressure loop (``backpressure=False`` turns
+    only the actuation off), and — when ``heartbeat_sink`` is set —
+    shipping compact windowed snapshots every ``heartbeat_interval``
+    virtual seconds (the fleet worker's mid-run liveness channel).
+    The row gains ``live`` / ``slo`` / ``backpressure`` sections
+    (``None`` when the plane is off, which is the default: the only
+    hot-path cost of the disabled plane is one ``is None`` branch).
     """
     import random
 
@@ -501,6 +534,8 @@ def run_scale(
             admission_threshold=admission_threshold,
             strategy=strategy,
             learn_mode=learn_mode,
+            learn_queue_capacity=learn_queue_capacity,
+            learn_drain_budget=learn_drain_budget,
         )
     sim = deployment.sim
     multi = deployment.multi
@@ -535,6 +570,35 @@ def run_scale(
     transports: Dict[int, MultiAppTransport] = {}
     latencies: List[float] = []
     state = {"sent": 0, "completed": 0, "peak_entries": 0}
+
+    # live telemetry plane: rolling windows + SLO burn + backpressure
+    live: Optional[LiveTelemetry] = None
+    engine: Optional[SloEngine] = None
+    controller: Optional[BackpressureController] = None
+    if telemetry or slo_config is not None or heartbeat_interval is not None:
+        engine = SloEngine(slo_config) if slo_config is not None else None
+        window_s = engine.window_s if engine is not None else DEFAULT_WINDOW_S
+        windows = LiveWindows(window_s=window_s)
+        if backpressure:
+            controller = BackpressureController(
+                [proxy.learner for _, proxy in multi._apps],
+                [proxy.config for _, proxy in multi._apps],
+                windows,
+                overflow_horizon_s=(
+                    engine.fast_window_s if engine is not None else None
+                ),
+            )
+        live = LiveTelemetry(
+            [proxy for _, proxy in multi._apps],
+            windows=windows,
+            slo=engine,
+            backpressure=controller,
+            interval_s=telemetry_interval,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_sink=heartbeat_sink,
+            shard=shard,
+            requests_fn=lambda: state["completed"],
+        )
 
     def transport_for(user_index: int) -> MultiAppTransport:
         transport = transports.get(user_index)
@@ -583,8 +647,11 @@ def run_scale(
             history.observe(user, request, sim.now)
         started_at = sim.now
         response = yield sim.spawn(transport_for(user_index).send(request, user))
-        latencies.append(sim.now - started_at)
+        elapsed = sim.now - started_at
+        latencies.append(elapsed)
         state["completed"] += 1
+        if live is not None:
+            live.on_request(elapsed, sim.now)
         session.jar.store_from_response(origin, response)
         if step.site is not None and response.ok:
             session.responses[step.site] = response
@@ -647,11 +714,19 @@ def run_scale(
                 state["peak_entries"] = entries
         return None
 
+    def telemetry_loop() -> Generator:
+        while sim.now < duration:
+            yield Delay(live.interval_s)
+            live.tick(sim.now)
+        return None
+
     sim.spawn(
         arrivals() if arrival_schedule is None else scheduled_arrivals()
     )
     sim.spawn(sweeper())
     sim.spawn(sampler())
+    if live is not None:
+        sim.spawn(telemetry_loop())
 
     if tracing:
         TRACER.configure(
@@ -685,6 +760,11 @@ def run_scale(
     # span_wall_seconds{stage=...} (reported under a "span:" prefix)
     stage_latency = stage_latency_from_registry(PERF.registry)
     miss_causes = miss_causes_from_counters(PERF.counters)
+
+    if live is not None:
+        # trailing counter deltas land in the final window bucket so
+        # the end-of-run readings/verdict see the whole run
+        live.finalize()
 
     final_entries = multi.cache_entries()
     if final_entries > state["peak_entries"]:
@@ -804,6 +884,13 @@ def run_scale(
         "stage_latency_us": stage_latency,
         "miss_causes": miss_causes,
         "trace": trace_stats,
+        "live": live.summary(live.last_now) if live is not None else None,
+        "slo": (
+            engine.report(live.windows, live.last_now)
+            if engine is not None
+            else None
+        ),
+        "backpressure": controller.stats() if controller is not None else None,
     }
     if collect_latencies:
         row["latencies_s"] = latencies

@@ -84,8 +84,8 @@ LOOKUP_OUTCOMES: Tuple[str, ...] = (
 MISS_CAUSES: Tuple[str, ...] = tuple(o for o in LOOKUP_OUTCOMES if o != "hit")
 
 #: trace record kinds (client requests, background prefetches, §5
-#: refreshes, run-level spanless summaries)
-TRACE_KINDS: Tuple[str, ...] = ("request", "prefetch", "refresh", "summary")
+#: refreshes, run-level spanless summaries, SLO burn-rate alerts)
+TRACE_KINDS: Tuple[str, ...] = ("request", "prefetch", "refresh", "summary", "alert")
 
 #: wall-clock stages accumulated by ``PERF.stage`` on the serving path
 PERF_STAGES: Tuple[str, ...] = (
@@ -176,6 +176,14 @@ COUNTERS: Dict[str, str] = {
     "prefetch.wasted": "prefetched entries that never served a hit",
     "sim.events": "simulator events processed",
     "sim.inline_starts": "zero-delay child processes started inline",
+    "backpressure.budget_grow": "deferred-drain budget growths by the backpressure loop",
+    "backpressure.budget_shrink": "deferred-drain budget decays back toward base",
+    "backpressure.admission_tighten": "admission-threshold raises under sustained burn",
+    "backpressure.admission_relax": "admission-threshold relaxations after burn clears",
+    "slo.alerts": "burn-rate alerts raised by the SLO engine",
+    "slo.evaluations": "SLO evaluation passes over the live windows",
+    "telemetry.ticks": "live-telemetry sampling ticks",
+    "heartbeat.sent": "windowed telemetry heartbeats shipped to the supervisor",
 }
 
 #: the prefix of every per-cause cache-miss counter
@@ -186,6 +194,38 @@ CACHE_MISS_PREFIX = "cache.miss."
 #: leak and the lint gate refuses them)
 COUNTER_PREFIXES: Dict[str, Tuple[str, ...]] = {
     CACHE_MISS_PREFIX: MISS_CAUSES,
+}
+
+
+# ======================================================================
+# rolling-window series (the live telemetry plane, repro.metrics.live)
+# ======================================================================
+#: sliding-window histogram of served request latency (seconds)
+W_REQUEST = "proxy.request"
+#: sliding-window histogram of deferred learn-drain wall seconds
+W_LEARN = "proxy.learn"
+#: requests answered (hit + forwarded), sampled per telemetry tick
+W_ANSWERED = "proxy.answered"
+#: requests slower than the latency objective's good_under threshold
+W_REQUEST_SLOW = "proxy.request_slow"
+#: requests served from a prefetched entry
+W_HITS = "cache.hits"
+#: observations dropped by a full deferred learn queue
+W_OVERFLOW = "learn.queue_overflow"
+#: prefetched entries that left the cache unserved
+W_WASTED = "prefetch.wasted"
+
+#: every declared rolling-window series name -> its kind; the live
+#: plane refuses undeclared names at runtime and the ``met-*`` lint
+#: family checks ``windows.inc/observe`` call sites against this map
+WINDOWS: Dict[str, str] = {
+    W_REQUEST: "histogram",
+    W_LEARN: "histogram",
+    W_ANSWERED: "counter",
+    W_REQUEST_SLOW: "counter",
+    W_HITS: "counter",
+    W_OVERFLOW: "counter",
+    W_WASTED: "counter",
 }
 
 
@@ -213,6 +253,11 @@ def declared_prefix_of(name: str) -> Optional[str]:
 def is_declared_name(name: str) -> bool:
     """Is ``name`` any declared metric (labeled series or counter)?"""
     return name in METRICS or is_declared_counter(name)
+
+
+def is_declared_window(name: str) -> bool:
+    """Is ``name`` a declared rolling-window series?"""
+    return name in WINDOWS
 
 
 def labels_for(name: str) -> Optional[Tuple[str, ...]]:

@@ -31,6 +31,8 @@ emits the text exposition format for scraping or file dumps.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -105,10 +107,17 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
-    def merge(self, snapshot: Dict[str, object]) -> None:
+    def merge(self, snapshot: Dict[str, object], name: Optional[str] = None) -> None:
         counts = list(snapshot["bucket_counts"])
         if tuple(snapshot["bounds"]) != self.bounds:
-            raise ValueError("cannot merge histograms with different buckets")
+            raise ValueError(
+                "cannot merge histogram{}: local bounds {} != snapshot "
+                "bounds {}".format(
+                    " {!r}".format(name) if name else "s",
+                    self.bounds,
+                    tuple(snapshot["bounds"]),
+                )
+            )
         for index, value in enumerate(counts):
             self.bucket_counts[index] += value
         self.count += int(snapshot["count"])
@@ -234,7 +243,7 @@ class MetricRegistry:
                 histogram = self.histograms[key] = Histogram(
                     tuple(snapshot["bounds"])
                 )
-            histogram.merge(snapshot)
+            histogram.merge(snapshot, name=key)
 
     def snapshot(self) -> Dict[str, object]:
         """Full picklable registry state, for cross-process fold-back.
@@ -305,17 +314,9 @@ class MetricRegistry:
             if metric not in emitted_types:
                 emitted_types[metric] = kind
                 lines.append("# TYPE {} {}".format(metric, kind))
-            label_text = (
-                "{{{}}}".format(
-                    ",".join(
-                        '{}="{}"'.format(_sanitize(k), v)
-                        for k, v in sorted(labels.items())
-                    )
-                )
-                if labels
-                else ""
+            lines.append(
+                "{}{} {}".format(metric, _label_text(labels), _fmt(value))
             )
-            lines.append("{}{} {}".format(metric, label_text, _fmt(value)))
 
         for key in sorted(self.counters):
             emit(key, "counter", "_total", self.counters[key])
@@ -337,28 +338,38 @@ class MetricRegistry:
                 bucket_labels = dict(labels)
                 bucket_labels["le"] = _fmt(bound)
                 lines.append(
-                    "{}_bucket{{{}}} {}".format(
-                        metric,
-                        ",".join(
-                            '{}="{}"'.format(_sanitize(k), v)
-                            for k, v in sorted(bucket_labels.items())
-                        ),
-                        cumulative,
+                    "{}_bucket{} {}".format(
+                        metric, _label_text(bucket_labels), cumulative
                     )
                 )
-            label_text = (
-                "{{{}}}".format(
-                    ",".join(
-                        '{}="{}"'.format(_sanitize(k), v)
-                        for k, v in sorted(labels.items())
-                    )
-                )
-                if labels
-                else ""
-            )
+            label_text = _label_text(labels)
             lines.append("{}_sum{} {}".format(metric, label_text, _fmt(histogram.sum)))
             lines.append("{}_count{} {}".format(metric, label_text, histogram.count))
         return "\n".join(lines) + ("\n" if lines else "")
+
+    def dump_prometheus(self, path: str, prefix: str = "repro_") -> str:
+        """Atomically write :meth:`render_prometheus` output to ``path``.
+
+        The text lands in a temp file next to ``path`` and is moved
+        into place with ``os.replace``, so a scraper (or a concurrent
+        fleet supervisor) never reads a half-written exposition.
+        """
+        text = self.render_prometheus(prefix=prefix)
+        directory = os.path.dirname(os.path.abspath(path))
+        handle, tmp_path = tempfile.mkstemp(
+            prefix=".prom-", dir=directory or None
+        )
+        try:
+            with os.fdopen(handle, "w") as tmp:
+                tmp.write(text)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        return text
 
     def __repr__(self) -> str:
         return "MetricRegistry({} counters, {} histograms)".format(
@@ -368,6 +379,28 @@ class MetricRegistry:
 
 def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def _escape_label_value(value) -> str:
+    """Escape per the exposition spec: backslash, quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_text(labels: Dict[str, object]) -> str:
+    """``{a="x",b="y"}`` with spec-escaped values ('' when unlabeled)."""
+    if not labels:
+        return ""
+    return "{{{}}}".format(
+        ",".join(
+            '{}="{}"'.format(_sanitize(k), _escape_label_value(v))
+            for k, v in sorted(labels.items())
+        )
+    )
 
 
 def _fmt(value) -> str:

@@ -1,0 +1,386 @@
+"""Declarative SLOs, multiwindow burn-rate alerting, and backpressure.
+
+Objectives live in ``benchmarks/slo.json`` and come in three kinds,
+each reduced to one **error-budget ratio** over the live windows of
+:mod:`repro.metrics.live`:
+
+``latency``
+    ``good_under_ms`` / ``target``: the fraction of requests slower
+    than ``good_under_ms`` must stay under ``1 - target``.  The live
+    plane counts slow requests into the ``proxy.request_slow`` window
+    at observation time, so evaluation is two window sums.
+``hit_rate``
+    ``floor``: the windowed miss ratio (answered − hits) / answered
+    must stay under ``1 - floor``.
+``overflow``
+    ``budget_ratio``: deferred-learn queue drops per answered request
+    must stay under ``budget_ratio``.
+
+Evaluation uses the SRE-workbook **multiwindow, multi-burn-rate**
+rule: with ``budget`` the allowed bad ratio, the *burn rate* of a
+window is ``(bad / total) / budget`` — 1.0 means "spending exactly
+the budget".  An alert fires when **both** the fast window (default
+the last ¼ of the horizon) and the slow window (the full horizon)
+burn above ``fast_burn`` — the fast window gives low detection
+latency, the slow window keeps one transient bucket from paging.
+Alerts fire on the not-burning → burning *transition* (no re-page
+while an incident is open), are counted in ``slo.alerts``, and are
+exported as spanless ``kind=alert`` trace records.  The end-of-run
+verdict is per objective: *violated* iff the slow-window burn at the
+final evaluation is ≥ 1.0 — i.e. the run ended while the error budget
+was actually being overspent.
+
+:class:`BackpressureController` closes the loop (the ROADMAP's
+"overflow-aware backpressure" item): overflow in the recent window
+doubles every learner's deferred drain budget (bounded), calm windows
+decay it back toward base; a sustained hit-rate burn raises the
+hit-aware admission threshold (prefetch less until it earns its
+keep), relaxing stepwise once the burn clears.  Every actuation bumps
+a ``backpressure.*`` counter so tests and BENCH rows can prove the
+loop actually moved, not just existed.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics import catalog
+from repro.metrics.live import LiveWindows
+from repro.metrics.perf import PERF
+
+#: repo-relative default objective file (the CLI resolves it)
+DEFAULT_SLO_PATH = "benchmarks/slo.json"
+
+#: objective kinds -> required parameter
+_KINDS = {"latency": "target", "hit_rate": "floor", "overflow": "budget_ratio"}
+
+
+class SloObjective:
+    """One declarative objective, normalized to bad/total vs budget."""
+
+    __slots__ = (
+        "name",
+        "kind",
+        "budget",
+        "fast_burn",
+        "slow_burn",
+        "min_events",
+        "good_under_s",
+    )
+
+    def __init__(self, spec: Dict[str, object]) -> None:
+        self.name = str(spec.get("name") or spec.get("kind"))
+        self.kind = str(spec["kind"])
+        if self.kind not in _KINDS:
+            raise ValueError(
+                "unknown SLO kind {!r}; expected one of {}".format(
+                    self.kind, sorted(_KINDS)
+                )
+            )
+        if _KINDS[self.kind] not in spec:
+            raise ValueError(
+                "SLO objective {!r} is missing {!r}".format(
+                    self.name, _KINDS[self.kind]
+                )
+            )
+        if self.kind == "latency":
+            target = float(spec["target"])
+            if not 0.0 < target < 1.0:
+                raise ValueError("latency target must be in (0, 1)")
+            self.budget = 1.0 - target
+            self.good_under_s = float(spec["good_under_ms"]) / 1e3
+        elif self.kind == "hit_rate":
+            floor = float(spec["floor"])
+            if not 0.0 < floor < 1.0:
+                raise ValueError("hit_rate floor must be in (0, 1)")
+            self.budget = 1.0 - floor
+            self.good_under_s = None
+        else:
+            self.budget = float(spec["budget_ratio"])
+            if self.budget <= 0.0:
+                raise ValueError("overflow budget_ratio must be positive")
+            self.good_under_s = None
+        self.fast_burn = float(spec.get("fast_burn", 2.0))
+        self.slow_burn = float(spec.get("slow_burn", 1.0))
+        self.min_events = int(spec.get("min_events", 20))
+
+    def bad_and_total(
+        self, windows: LiveWindows, now: float, horizon_s: Optional[float]
+    ) -> Tuple[float, float]:
+        if self.kind == "latency":
+            total = windows.total(catalog.W_REQUEST, now, horizon_s)
+            bad = windows.total(catalog.W_REQUEST_SLOW, now, horizon_s)
+        elif self.kind == "hit_rate":
+            total = windows.total(catalog.W_ANSWERED, now, horizon_s)
+            bad = total - windows.total(catalog.W_HITS, now, horizon_s)
+        else:
+            total = windows.total(catalog.W_ANSWERED, now, horizon_s)
+            bad = windows.total(catalog.W_OVERFLOW, now, horizon_s)
+        return bad, total
+
+    def burn(
+        self, windows: LiveWindows, now: float, horizon_s: Optional[float]
+    ) -> Tuple[float, float, float]:
+        """(burn rate, bad, total) over the given horizon."""
+        bad, total = self.bad_and_total(windows, now, horizon_s)
+        if total < self.min_events:
+            return 0.0, bad, total
+        return (bad / total) / self.budget, bad, total
+
+
+def load_slo_config(path: str) -> Dict[str, object]:
+    with open(path) as handle:
+        config = json.load(handle)
+    if not isinstance(config, dict) or "objectives" not in config:
+        raise ValueError("SLO config must be an object with 'objectives'")
+    return config
+
+
+class SloEngine:
+    """Evaluates every objective per telemetry tick; remembers state."""
+
+    def __init__(self, config: Dict[str, object]) -> None:
+        self.objectives = [SloObjective(s) for s in config["objectives"]]
+        if not self.objectives:
+            raise ValueError("SLO config declares no objectives")
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate SLO objective names: {}".format(names))
+        self.window_s = float(config.get("window_s", 10.0))
+        self.fast_window_s = float(
+            config.get("fast_window_s", self.window_s / 4.0)
+        )
+        #: per-objective open-incident flag (alert on transition only)
+        self._burning: Dict[str, bool] = {o.name: False for o in self.objectives}
+        self._last: Dict[str, Dict[str, object]] = {}
+        self._alert_seq = 0
+        self.alerts: List[Dict[str, object]] = []
+
+    @property
+    def slow_threshold_s(self) -> Optional[float]:
+        """The latency objective's good/bad cut, for the live plane."""
+        for objective in self.objectives:
+            if objective.kind == "latency":
+                return objective.good_under_s
+        return None
+
+    def evaluate(
+        self, windows: LiveWindows, now: float
+    ) -> Tuple[List[Dict[str, object]], Dict[str, bool]]:
+        """One pass: returns (newly fired alerts, kind -> burning map)."""
+        PERF.incr("slo.evaluations")
+        new_alerts: List[Dict[str, object]] = []
+        burning_by_kind: Dict[str, bool] = {}
+        for objective in self.objectives:
+            slow, bad, total = objective.burn(windows, now, None)
+            fast, fast_bad, fast_total = objective.burn(
+                windows, now, self.fast_window_s
+            )
+            burning = fast >= objective.fast_burn and slow >= objective.slow_burn
+            self._last[objective.name] = {
+                "objective": objective.name,
+                "kind": objective.kind,
+                "budget": objective.budget,
+                "burn_slow": slow,
+                "burn_fast": fast,
+                "bad": bad,
+                "total": total,
+                "burning": burning,
+                "sim_now": now,
+            }
+            burning_by_kind[objective.kind] = (
+                burning_by_kind.get(objective.kind, False) or burning
+            )
+            if burning and not self._burning[objective.name]:
+                self._alert_seq += 1
+                alert = dict(self._last[objective.name], seq=self._alert_seq)
+                self.alerts.append(alert)
+                new_alerts.append(alert)
+            self._burning[objective.name] = burning
+        return new_alerts, burning_by_kind
+
+    # -- verdicts -------------------------------------------------------
+    def status(
+        self, windows: LiveWindows, now: float
+    ) -> List[Dict[str, object]]:
+        """Per-objective verdict at ``now`` (recomputed, not cached)."""
+        rows = []
+        for objective in self.objectives:
+            slow, bad, total = objective.burn(windows, now, None)
+            fast = objective.burn(windows, now, self.fast_window_s)[0]
+            alerts = sum(
+                1 for a in self.alerts if a["objective"] == objective.name
+            )
+            rows.append(
+                {
+                    "objective": objective.name,
+                    "kind": objective.kind,
+                    "budget": objective.budget,
+                    "burn_slow": slow,
+                    "burn_fast": fast,
+                    "bad": bad,
+                    "total": total,
+                    "alerts": alerts,
+                    "violated": slow >= 1.0,
+                }
+            )
+        return rows
+
+    def report(self, windows: LiveWindows, now: float) -> Dict[str, object]:
+        objectives = self.status(windows, now)
+        return {
+            "sim_now": now,
+            "passed": all(not row["violated"] for row in objectives),
+            "alerts": len(self.alerts),
+            "objectives": objectives,
+        }
+
+
+class BackpressureController:
+    """Window-driven actuation on drain budgets and admission.
+
+    ``learners`` / ``configs`` are the per-app :class:`DynamicLearner`
+    and :class:`ProxyConfig` instances of one process (the fleet gives
+    each shard its own controller; no cross-process coordination is
+    needed because each shard owns its users outright).
+    """
+
+    __slots__ = (
+        "learners",
+        "configs",
+        "windows",
+        "overflow_horizon_s",
+        "max_budget",
+        "calm_ticks",
+        "admission_step",
+        "admission_ceiling",
+        "sustain_ticks",
+        "base_budgets",
+        "base_thresholds",
+        "budget_grow",
+        "budget_shrink",
+        "admission_tighten",
+        "admission_relax",
+        "_calm",
+        "_hit_streak",
+    )
+
+    def __init__(
+        self,
+        learners: Sequence[object],
+        configs: Sequence[object],
+        windows: LiveWindows,
+        overflow_horizon_s: Optional[float] = None,
+        max_budget: int = 1024,
+        calm_ticks: int = 4,
+        admission_step: float = 0.1,
+        admission_ceiling: float = 0.9,
+        sustain_ticks: int = 3,
+    ) -> None:
+        self.learners = list(learners)
+        self.configs = list(configs)
+        self.windows = windows
+        self.overflow_horizon_s = overflow_horizon_s
+        self.max_budget = max_budget
+        self.calm_ticks = calm_ticks
+        self.admission_step = admission_step
+        self.admission_ceiling = admission_ceiling
+        self.sustain_ticks = sustain_ticks
+        self.base_budgets = [
+            getattr(learner, "learn_drain_budget", None)
+            for learner in self.learners
+        ]
+        self.base_thresholds = [
+            getattr(config, "admission_threshold", None)
+            for config in self.configs
+        ]
+        self.budget_grow = 0
+        self.budget_shrink = 0
+        self.admission_tighten = 0
+        self.admission_relax = 0
+        self._calm = 0
+        self._hit_streak = 0
+
+    # -- drain-budget loop ----------------------------------------------
+    def _grow_budgets(self) -> None:
+        for learner in self.learners:
+            budget = getattr(learner, "learn_drain_budget", None)
+            if budget is None:
+                continue  # unlimited drain: nothing to grow
+            grown = min(self.max_budget, max(budget * 2, budget + 1))
+            if grown != budget:
+                learner.learn_drain_budget = grown
+                self.budget_grow += 1
+                PERF.incr("backpressure.budget_grow")
+
+    def _shrink_budgets(self) -> None:
+        for learner, base in zip(self.learners, self.base_budgets):
+            budget = getattr(learner, "learn_drain_budget", None)
+            if budget is None or base is None or budget <= base:
+                continue
+            learner.learn_drain_budget = max(base, budget // 2)
+            self.budget_shrink += 1
+            PERF.incr("backpressure.budget_shrink")
+
+    # -- admission loop --------------------------------------------------
+    def _tighten_admission(self) -> None:
+        for config in self.configs:
+            threshold = getattr(config, "admission_threshold", None)
+            raised = min(
+                self.admission_ceiling, (threshold or 0.0) + self.admission_step
+            )
+            if threshold is None or raised > threshold:
+                config.admission_threshold = raised
+                self.admission_tighten += 1
+                PERF.incr("backpressure.admission_tighten")
+
+    def _relax_admission(self) -> None:
+        for config, base in zip(self.configs, self.base_thresholds):
+            threshold = getattr(config, "admission_threshold", None)
+            floor = base if base is not None else 0.0
+            if threshold is None or threshold <= floor:
+                continue
+            config.admission_threshold = max(
+                floor, threshold - self.admission_step
+            )
+            self.admission_relax += 1
+            PERF.incr("backpressure.admission_relax")
+
+    # -- per-tick entry point -------------------------------------------
+    def tick(self, now: float, burning: Dict[str, bool]) -> None:
+        overflow = self.windows.total(
+            catalog.W_OVERFLOW, now, self.overflow_horizon_s
+        )
+        if overflow > 0:
+            self._calm = 0
+            self._grow_budgets()
+        else:
+            self._calm += 1
+            if self._calm >= self.calm_ticks:
+                self._shrink_budgets()
+        if burning.get("hit_rate"):
+            self._hit_streak += 1
+            if self._hit_streak >= self.sustain_ticks:
+                self._tighten_admission()
+        else:
+            self._hit_streak = 0
+            self._relax_admission()
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "budget_grow": self.budget_grow,
+            "budget_shrink": self.budget_shrink,
+            "admission_tighten": self.admission_tighten,
+            "admission_relax": self.admission_relax,
+            "drain_budgets": [
+                getattr(learner, "learn_drain_budget", None)
+                for learner in self.learners
+            ],
+            "base_budgets": list(self.base_budgets),
+            "admission_thresholds": [
+                getattr(config, "admission_threshold", None)
+                for config in self.configs
+            ],
+            "base_thresholds": list(self.base_thresholds),
+        }

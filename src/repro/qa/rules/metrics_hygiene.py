@@ -22,10 +22,13 @@ tracer call site and check it against
     classic cardinality leak (per-request ids as labels).
 
 Sink detection is by receiver-name heuristics (``PERF.incr``,
-``*.registry.inc``, ``trace.start_span``, ``TRACER.begin``), so
+``*.registry.inc``, ``trace.start_span``, ``TRACER.begin``,
+``*.windows.inc``/``observe`` for the live rolling-window plane), so
 renaming a local ``registry`` to ``r`` opts a call site out — the
 meta-test pins the heuristics against the real tree to keep that
-honest.
+honest.  (The live plane also refuses undeclared names at runtime —
+:meth:`LiveWindows.inc` raises ``KeyError`` — so the static check is
+the early warning, not the only fence.)
 """
 
 from __future__ import annotations
@@ -194,6 +197,9 @@ class MetricsHygieneRule(Rule):
                 node, ctx, catalog.PERF_STAGES, "PERF.stage name")
         if attr in ("inc", "observe", "set_gauge") and "registry" in receiver_dotted:
             return self._check_registry(node, ctx)
+        if attr in ("inc", "observe") and (
+                "windows" in receiver_dotted or receiver == "windows"):
+            return self._check_window(node, ctx)
         if attr in ("start_span", "span") and (
                 "trace" in receiver or receiver in ("ctx", "context")):
             return self._check_vocab(
@@ -255,6 +261,28 @@ class MetricsHygieneRule(Rule):
         return [Finding(
             "met-dynamic-name", ctx.relpath, node.lineno, node.col_offset,
             "{} is not statically resolvable; use a catalog constant".format(what),
+        )]
+
+    def _check_window(self, node: ast.Call, ctx: ModuleContext) -> List[Finding]:
+        arg = self._name_arg(node)
+        if arg is None:
+            return []
+        kind, value = resolve_static_string(arg, ctx, node)
+        if kind == _PARAM:
+            return []
+        if kind == _STR:
+            if catalog.is_declared_window(value):
+                return []
+            return [Finding(
+                "met-undeclared-name", ctx.relpath, node.lineno, node.col_offset,
+                "rolling-window series {!r} is not declared in "
+                "repro.metrics.catalog.WINDOWS (typo, or declare it with "
+                "its kind)".format(value),
+            )]
+        return [Finding(
+            "met-dynamic-name", ctx.relpath, node.lineno, node.col_offset,
+            "rolling-window series name is not statically resolvable; use "
+            "a catalog constant (or forward a caller-checked parameter)",
         )]
 
     def _check_kind(self, node: ast.Call, ctx: ModuleContext) -> List[Finding]:

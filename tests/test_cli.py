@@ -81,3 +81,78 @@ def test_verify_command(tmp_path, capsys):
     assert "expiration estimates" in out
     payload = json.loads(config_file.read_text())
     assert payload["policies"]
+
+
+# ----------------------------------------------------------------------
+# live telemetry plane / SLO flags
+# ----------------------------------------------------------------------
+def _slo_config_file(tmp_path):
+    # slow window wider than the run: terminal events push the sim
+    # clock past the nominal duration, and the end-of-run verdict must
+    # still see the early overflow burst inside the slow window
+    config = {
+        "window_s": 12.0,
+        "fast_window_s": 1.0,
+        "objectives": [
+            {"name": "overflow_rate", "kind": "overflow",
+             "budget_ratio": 0.01, "fast_burn": 2.0, "slow_burn": 1.0,
+             "min_events": 10},
+        ],
+    }
+    path = tmp_path / "slo.json"
+    path.write_text(json.dumps(config))
+    return str(path)
+
+
+def test_scale_slo_violation_exits_nonzero(tmp_path, capsys):
+    report_path = tmp_path / "slo_report.json"
+    code, out = run_cli(
+        capsys, "scale", "--users", "60", "--duration", "4",
+        "--rate", "2.0", "--max-entries-per-user", "16",
+        "--slo", _slo_config_file(tmp_path),
+        "--slo-report", str(report_path),
+        "--learn-queue-capacity", "4", "--learn-drain-budget", "0",
+    )
+    assert code == 1
+    assert "slo verdict: FAIL" in out
+    assert "VIOLATED" in out
+    assert "backpressure[60 users]" in out
+    report = json.loads(report_path.read_text())
+    assert report["passed"] is False
+    assert report["cells"][0]["slo"]["objectives"][0]["bad"] > 0
+
+
+def test_scale_slo_clean_run_passes(tmp_path, capsys):
+    code, out = run_cli(
+        capsys, "scale", "--users", "60", "--duration", "4",
+        "--rate", "2.0", "--max-entries-per-user", "16",
+        "--slo", _slo_config_file(tmp_path),
+    )
+    assert code == 0
+    assert "slo verdict: PASS" in out
+    assert "live[60 users]" in out
+
+
+def test_scale_slo_flag_validation(tmp_path, capsys):
+    # --slo-report without --slo
+    assert main(["scale", "--users", "10", "--slo-report", "x.json"]) == 2
+    # unreadable SLO config
+    assert main([
+        "scale", "--users", "10", "--slo", str(tmp_path / "missing.json"),
+    ]) == 2
+    # non-positive heartbeat interval
+    assert main([
+        "scale", "--users", "10", "--heartbeat-interval", "0",
+    ]) == 2
+    capsys.readouterr()
+
+
+def test_scale_prom_out_atomic_dump(tmp_path, capsys):
+    prom_path = tmp_path / "metrics.prom"
+    code, out = run_cli(
+        capsys, "scale", "--users", "20", "--duration", "2",
+        "--max-entries-per-user", "16", "--prom-out", str(prom_path),
+    )
+    assert code == 0
+    assert "wrote Prometheus metrics to {}".format(prom_path) in out
+    assert "# TYPE" in prom_path.read_text()

@@ -13,6 +13,7 @@ import pytest
 from repro.experiments.fleet import (
     ConsistentHashRing,
     FleetWorkerError,
+    HeartbeatTracker,
     format_fleet_table,
     partition_schedule,
     run_fleet,
@@ -254,3 +255,82 @@ def test_cli_scale_rejects_bad_worker_combos(capsys):
                  "--compare-strategies"]) == 2
     assert main(["scale", "--users", "2", "--workers", "4"]) == 2
     capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# live telemetry plane: heartbeats + supervisor fold-back
+# ----------------------------------------------------------------------
+def test_heartbeat_tracker_flags_skew_and_lagging_shards():
+    tracker = HeartbeatTracker(workers=2, interval_s=0.5)
+    tracker.record(0, {"sim_now": 0.5, "requests": 10, "queue_depth": 0})
+    tracker.record(0, {"sim_now": 1.0, "requests": 21, "queue_depth": 0})
+    # shard 1 has never heartbeated while the leader moved well past
+    # the lag threshold (2 intervals): silent from the start
+    tracker.record(0, {"sim_now": 2.0, "requests": 40, "queue_depth": 1})
+    assert tracker.lagging == {1}
+    tracker.record(1, {"sim_now": 0.5, "requests": 9, "queue_depth": 0})
+    summary = tracker.summary()
+    assert summary["received"] == 4
+    assert summary["max_skew_s"] == pytest.approx(1.5)
+    assert summary["lagging_shards"] == [1]
+    assert summary["per_shard"][0]["count"] == 3
+    assert summary["per_shard"][1]["requests"] == 9
+
+
+def test_heartbeat_tracker_no_lag_when_shards_keep_pace():
+    tracker = HeartbeatTracker(workers=2, interval_s=0.5)
+    for tick in (0.5, 1.0, 1.5):
+        tracker.record(0, {"sim_now": tick})
+        tracker.record(1, {"sim_now": tick})
+    summary = tracker.summary()
+    assert summary["lagging_shards"] == []
+    # shards report in turn, so the observed spread never exceeds the
+    # heartbeat interval itself
+    assert summary["max_skew_s"] <= 0.5
+
+
+def test_fleet_heartbeats_fold_back_mid_run():
+    seen = []
+
+    def log(shard, payload, tracker):
+        seen.append((shard, payload["sim_now"], payload["requests"]))
+
+    row = run_fleet(
+        24, 4.0, workers=2, seed=11, max_entries_per_user=16,
+        worker_timeout=120.0, heartbeat_interval=1.0, heartbeat_log=log,
+    )
+    # every shard shipped windowed snapshots while serving
+    assert {shard for shard, _, _ in seen} == {0, 1}
+    hb = row["heartbeats"]
+    assert hb["received"] == len(seen) == row["live"]["heartbeats_sent"]
+    assert hb["lagging_shards"] == []
+    assert all(entry["count"] >= 1 for entry in hb["per_shard"])
+    # the merged windows cover the whole fleet: the windowed request
+    # count at end of run equals the aggregate completed-request count
+    assert row["live"]["readings"]["requests"] == row["requests"]
+    assert row["live"]["ticks"] > 0
+
+
+def test_fleet_one_worker_telemetry_matches_multiworker_merge():
+    kwargs = dict(users=24, duration=4.0, seed=11, max_entries_per_user=16)
+    one = run_fleet(workers=1, telemetry=True, **kwargs)
+    two = run_fleet(
+        workers=2, telemetry=True, worker_timeout=120.0, **kwargs
+    )
+    # sharding changes where a user is served, never when: the merged
+    # rolling windows must agree with the single-process plane
+    for key in ("requests", "hit_rate", "overflow", "wasted"):
+        assert two["live"]["readings"][key] == one["live"]["readings"][key]
+
+
+def test_telemetry_plane_does_not_perturb_the_workload():
+    kwargs = dict(users=24, duration=4.0, seed=11, max_entries_per_user=16)
+    plain = run_scale(**kwargs)
+    live = run_scale(telemetry=True, **kwargs)
+    # sim_events differs (the telemetry tick process adds events); every
+    # workload outcome must be byte-identical
+    for key in DETERMINISTIC_KEYS:
+        if key == "sim_events":
+            continue
+        assert live[key] == plain[key], key
+    assert live["live"] is not None and plain.get("live") is None

@@ -264,11 +264,11 @@ def test_validate_record_flags_schema_violations():
     assert any("spans[0].name" in e for e in errors)
     assert any("spans[1].wall_us" in e for e in errors)
     assert any("spans[2].tags.outcome" in e for e in errors)
+    from repro.metrics.catalog import TRACE_KINDS
+
     assert validate_record({"trace_id": "t", "user": "u", "kind": "bogus",
                             "spans": []}) == [
-        "kind: 'bogus' not in {}".format(
-            ("request", "prefetch", "refresh", "summary")
-        )
+        "kind: 'bogus' not in {}".format(TRACE_KINDS)
     ]
 
 

@@ -287,6 +287,29 @@ def test_metrics_rules_active_in_core_profile():
     assert ids == ["met-undeclared-name"]
 
 
+def test_declared_window_passes_typo_flagged():
+    ids = rule_ids("""
+        from repro.metrics import catalog
+
+        def tick(self, now, latency):
+            self.windows.inc(catalog.W_HITS, now)
+            self.windows.observe("proxy.request", now, latency)
+            self.windows.inc("proxy.reqests", now)
+    """)
+    assert ids == ["met-undeclared-name"]
+
+
+def test_window_forwarding_allowed_dynamic_flagged():
+    ids = rule_ids("""
+        def inc(self, name, now, amount=1):
+            self.windows.inc(name, now, amount)
+
+        def feed(windows, suffix, now):
+            windows.inc("proxy." + suffix, now)
+    """)
+    assert ids == ["met-dynamic-name"]
+
+
 # ======================================================================
 # multiprocessing safety rules
 # ======================================================================
